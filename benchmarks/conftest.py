@@ -1,0 +1,57 @@
+"""Benchmark harness configuration.
+
+Every bench regenerates one of the paper's tables or figures and prints
+the rows/series the paper reports.  Timing-simulation cells are memoised
+process-wide (see ``repro.experiments.runner.run_cell``), so the whole
+harness simulates each (application, scheme) pair exactly once even
+though several figures consume the same sweep.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(the ``-s`` keeps the printed tables visible).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+
+
+def bench_once(benchmark, fn):
+    """Record one timed execution (figure generation is deterministic;
+    re-running it five times would just quintuple harness wall-clock)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def show():
+    """Print a rendered table/figure underneath the bench output."""
+
+    def _show(text: str) -> None:
+        print("\n" + text + "\n")
+
+    return _show
+
+
+@lru_cache(maxsize=None)
+def fig3_cached():
+    from repro.experiments.figures import fig3_data
+
+    return fig3_data()
+
+
+@lru_cache(maxsize=None)
+def fig4_cached():
+    from repro.experiments.figures import fig4_data
+
+    return fig4_data()
+
+
+@lru_cache(maxsize=None)
+def fig7_cached():
+    from repro.experiments.figures import fig7_data
+
+    return fig7_data()

@@ -1,0 +1,45 @@
+"""Ablation: protected-set bypass on/off.
+
+Section 4.1.1: when every line in a set is protected, DLP bypasses the
+request.  Without the bypass, a fully-protected set *stalls* the memory
+pipeline until PLs decay — protection alone can even hurt.  This bench
+quantifies how much of DLP's win comes from the bypass path.
+"""
+
+from conftest import bench_once
+
+from repro.analysis import ascii_table
+from repro.experiments.runner import harness_config, run_workload
+
+APPS = ("SS", "CFD", "SR2K")
+
+
+def collect():
+    config = harness_config()
+    rows = []
+    for app in APPS:
+        base = run_workload(app, "baseline", config).cycles
+        with_bypass = run_workload(app, "dlp", config, bypass_enabled=True)
+        without = run_workload(app, "dlp", config, bypass_enabled=False)
+        rows.append(
+            (app,
+             f"{base / with_bypass.cycles:.3f}",
+             f"{base / without.cycles:.3f}",
+             f"{without.ldst_stall_cycles - with_bypass.ldst_stall_cycles:+d}")
+        )
+    return rows
+
+
+def test_ablation_bypass(benchmark, show):
+    rows = bench_once(benchmark, collect)
+    show(ascii_table(
+        ["App", "DLP (bypass on)", "DLP (bypass off)", "extra stall cycles"],
+        rows,
+        title="Ablation: protected-set bypass",
+    ))
+    for app, with_b, without_b, _ in rows:
+        # the bypass path must never hurt, and it should matter somewhere
+        assert float(with_b) >= 0.98 * float(without_b), app
+    assert any(float(r[1]) > float(r[2]) + 0.01 for r in rows), (
+        "bypass made no difference anywhere"
+    )

@@ -1,0 +1,38 @@
+"""Ablation: per-instruction PDs (DLP) vs one global PD (GP).
+
+The paper's core claim is that instruction-level protection distances
+accommodate diverse reuse patterns better than PDP's single PD.  This
+bench isolates the comparison on the CI applications whose PCs have the
+most heterogeneous reuse (KM: stream + hot table; SS: hot own-vector +
+cyclic partners; MM: short A reuse + spread B reuse).
+"""
+
+from conftest import bench_once
+
+from repro.analysis import ascii_table, geometric_mean
+from repro.experiments.runner import run_cell
+
+APPS = ("KM", "SS", "MM", "CFD")
+
+
+def collect():
+    rows = []
+    for app in APPS:
+        base = run_cell(app, "baseline").cycles
+        gp = base / run_cell(app, "global_protection").cycles
+        dlp = base / run_cell(app, "dlp").cycles
+        rows.append((app, f"{gp:.3f}", f"{dlp:.3f}"))
+    return rows
+
+
+def test_ablation_pd_granularity(benchmark, show):
+    rows = bench_once(benchmark, collect)
+    show(ascii_table(
+        ["App", "Global-Protection", "DLP (per-insn)"],
+        rows,
+        title="Ablation: PD granularity (speedup over baseline)",
+    ))
+    gp_mean = geometric_mean([float(r[1]) for r in rows])
+    dlp_mean = geometric_mean([float(r[2]) for r in rows])
+    # per-instruction PDs must not lose to the global PD on these apps
+    assert dlp_mean >= 0.98 * gp_mean

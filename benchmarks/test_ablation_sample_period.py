@@ -1,0 +1,39 @@
+"""Ablation: sampling period (the paper picks 200 accesses empirically).
+
+Sweeps the DLP sample limit around the paper's choice on a protection-
+responsive CI application.  Too-short windows produce noisy hit counts;
+too-long windows adapt slowly — 200 should sit in the flat, good region.
+"""
+
+from conftest import bench_once
+
+from repro.analysis import ascii_table
+from repro.experiments.runner import harness_config, run_workload
+
+PERIODS = (50, 100, 200, 400, 800)
+APP = "SS"
+
+
+def collect():
+    config = harness_config()
+    base = run_workload(APP, "baseline", config).cycles
+    rows = []
+    for period in PERIODS:
+        r = run_workload(APP, "dlp", config, sample_limit=period)
+        rows.append((str(period), f"{base / r.cycles:.3f}", f"{r.l1d.hit_rate:.3f}"))
+    return rows
+
+
+def test_ablation_sample_period(benchmark, show):
+    rows = bench_once(benchmark, collect)
+    show(ascii_table(
+        ["Sample limit (accesses)", "Speedup vs baseline", "L1D hit rate"],
+        rows,
+        title=f"Ablation: DLP sampling period on {APP}",
+    ))
+    by_period = {int(r[0]): float(r[1]) for r in rows}
+    best = max(by_period.values())
+    # the paper's 200 must be within 10% of the best setting in the sweep
+    assert by_period[200] >= 0.9 * best
+    # and protection must be profitable at the paper's setting
+    assert by_period[200] > 1.0

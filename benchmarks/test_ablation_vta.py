@@ -1,0 +1,45 @@
+"""Ablation: Victim Tag Array associativity (and with it Nasc).
+
+The paper sets the VTA associativity equal to the cache associativity
+(4) and uses it as the Nasc step size in the Fig. 9 computation.  A
+smaller VTA observes fewer long-distance reuses (protection engages
+less); a larger one costs more storage for diminishing returns.
+"""
+
+from conftest import bench_once
+
+from repro.analysis import ascii_table
+from repro.core.overhead import compute_overhead
+from repro.experiments.runner import harness_config, run_workload
+
+VTA_ASSOCS = (1, 2, 4, 8)
+APP = "SS"
+
+
+def collect():
+    config = harness_config()
+    base = run_workload(APP, "baseline", config).cycles
+    rows = []
+    for assoc in VTA_ASSOCS:
+        r = run_workload(APP, "dlp", config, vta_assoc=assoc)
+        cost = compute_overhead(vta_assoc=assoc).total_extra_bytes
+        rows.append(
+            (str(assoc), f"{base / r.cycles:.3f}",
+             f"{r.policy.get('vta_hits', 0):.0f}", f"{cost} B")
+        )
+    return rows
+
+
+def test_ablation_vta(benchmark, show):
+    rows = bench_once(benchmark, collect)
+    show(ascii_table(
+        ["VTA assoc (=Nasc)", "Speedup", "VTA hits", "DLP storage"],
+        rows,
+        title=f"Ablation: VTA associativity on {APP}",
+    ))
+    by_assoc = {int(r[0]): float(r[1]) for r in rows}
+    hits = {int(r[0]): float(r[2]) for r in rows}
+    # a deeper VTA observes at least as much reuse
+    assert hits[4] > hits[1]
+    # the paper's choice must be profitable
+    assert by_assoc[4] > 1.0

@@ -1,0 +1,38 @@
+"""Fig. 10: IPC of baseline / Stall-Bypass / Global-Protection / DLP /
+32KB, normalized to the 16 KB baseline, with CS and CI geomeans.
+
+Paper shape to reproduce (Section 6.1): for CI applications DLP clearly
+beats the baseline and sits at or above Global-Protection, which in turn
+beats Stall-Bypass; doubling the cache to 32 KB is comparable to (a bit
+above) DLP.  For CS applications every scheme stays near 1.0.
+"""
+
+from conftest import bench_once
+
+from repro.experiments.figures import fig10_data, render_policy_figure
+
+
+def test_fig10_ipc_policies(benchmark, show):
+    per_app, means, labels = bench_once(benchmark, fig10_data)
+    show(render_policy_figure((per_app, means, labels), "Fig. 10: normalized IPC"))
+
+    ci = means["CI"]
+    cs = means["CS"]
+
+    # CI ordering: DLP > Stall-Bypass and DLP >= ~Global-Protection
+    assert ci["DLP"] > 1.05, f"DLP CI geomean {ci['DLP']:.3f}"
+    assert ci["DLP"] > ci["Stall-Bypass"]
+    assert ci["DLP"] >= 0.97 * ci["Global-Protection"]
+    assert ci["Global-Protection"] > 1.0
+
+    # 32KB is the upper reference, DLP within reach of it
+    assert ci["32KB"] >= ci["DLP"]
+
+    # CS applications: protection schemes are safe (within a few %)
+    assert cs["DLP"] > 0.95
+    assert cs["Global-Protection"] > 0.95
+
+    # every CI app: DLP never loses more than a whisker vs baseline
+    from repro.workloads import CI_APPS
+    for app in CI_APPS:
+        assert per_app[app]["DLP"] > 0.95, f"{app} regressed under DLP"

@@ -1,0 +1,38 @@
+"""Fig. 11: normalized L1D traffic (a) and evictions (b).
+
+Paper shape (Section 6.2): all three bypassing schemes cut CI traffic,
+DLP the most aggressively (paper: 47.5% of baseline traffic, 20.7% of
+baseline evictions, vs 71.6%/56.5% for Stall-Bypass); eviction
+reductions are deeper than traffic reductions under DLP.
+"""
+
+from conftest import bench_once
+
+from repro.experiments.figures import fig11a_data, fig11b_data, render_policy_figure
+from repro.workloads import CI_APPS
+
+
+def test_fig11a_l1d_traffic(benchmark, show):
+    per_app, means, labels = bench_once(benchmark, fig11a_data)
+    show(render_policy_figure((per_app, means, labels), "Fig. 11a: normalized L1D traffic"))
+
+    ci = means["CI"]
+    assert ci["DLP"] < 0.95, f"DLP CI traffic {ci['DLP']:.3f}"
+    assert ci["DLP"] <= ci["16KB(Baseline)"]
+    # DLP bypasses more aggressively than Global-Protection on average
+    assert ci["DLP"] <= 1.02 * ci["Global-Protection"]
+
+
+def test_fig11b_l1d_evictions(benchmark, show):
+    per_app, means, labels = bench_once(benchmark, fig11b_data)
+    show(render_policy_figure((per_app, means, labels), "Fig. 11b: normalized L1D evictions"))
+
+    ci = means["CI"]
+    assert ci["DLP"] < 0.85, f"DLP CI evictions {ci['DLP']:.3f}"
+    # protection retains lines: eviction cut is deeper than the traffic cut
+    traffic_ci = fig11a_data()[1]["CI"]
+    assert ci["DLP"] <= traffic_ci["DLP"] + 0.05
+
+    # per-app: DLP never inflates evictions dramatically on CI apps
+    for app in CI_APPS:
+        assert per_app[app]["DLP"] < 1.2, f"{app} evictions grew under DLP"

@@ -1,0 +1,11 @@
+"""Fig. 2: reuse-distance counting example (RD of Addr 0 is 3)."""
+
+from conftest import bench_once
+
+from repro.experiments.figures import fig2_data, render_fig2
+
+
+def test_fig2_rd_example(benchmark, show):
+    data = bench_once(benchmark, fig2_data)
+    show(render_fig2())
+    assert data["rds"] == [None, None, None, 3]

@@ -1,0 +1,26 @@
+"""Fig. 3: Reuse Distance Distribution of the 18 applications.
+
+Paper shape to reproduce: RDDs vary widely across applications; SC/BP
+concentrate in the short ranges while streaming apps like HG sit in the
+long range; MM spreads across all four ranges.
+"""
+
+from conftest import bench_once, fig3_cached
+
+from repro.experiments.figures import render_fig3
+
+
+def test_fig3_rdd(benchmark, show):
+    data = bench_once(benchmark, fig3_cached)
+    show(render_fig3(data))
+    assert len(data) == 18
+    for app, fracs in data.items():
+        assert abs(sum(fracs) - 1.0) < 1e-9, f"{app} fractions don't sum to 1"
+
+    # shape checks against the paper's Fig. 3
+    assert data["SC"][0] > 0.5, "SC should be dominated by RD 1~4"
+    assert data["BP"][0] > 0.4, "BP should be short-RD heavy"
+    assert data["STEN"][3] > 0.9, "STEN reuses should sit in RD >65"
+    assert data["HG"][2] + data["HG"][3] > 0.5, "HG reuses should skew long"
+    # MM: spread across ranges (no single range above ~80%)
+    assert max(data["MM"]) < 0.8, "MM RDD should be spread across ranges"

@@ -1,0 +1,31 @@
+"""Fig. 4: reuse-data miss rate at 16/32/64 KB (compulsory excluded).
+
+Paper shape: the reuse-data miss rate drops for most applications as
+associativity grows; apps whose RDs cluster entirely in the short or
+long extremes (HG, STEN, SC, BP) barely move.
+"""
+
+from conftest import bench_once, fig4_cached
+
+from repro.experiments.figures import CAPACITIES_KB, render_fig4
+from repro.workloads import CI_APPS
+
+
+def test_fig4_missrate(benchmark, show):
+    data = bench_once(benchmark, fig4_cached)
+    show(render_fig4(data))
+    assert len(data) == 18
+
+    # capacity monotonicity for every application
+    for app, rates in data.items():
+        assert rates[16] >= rates[32] >= rates[64], f"{app} not monotone"
+
+    # CI applications must be meaningfully capacity-starved at 16 KB
+    starved = [app for app in CI_APPS if data[app][16] > 0.2]
+    assert len(starved) >= 6, f"too few capacity-starved CI apps: {starved}"
+
+    # and a larger cache must visibly help at least half of the CI group
+    helped = [
+        app for app in CI_APPS if data[app][16] - data[app][64] > 0.1
+    ]
+    assert len(helped) >= 5, f"64KB helps too few CI apps: {helped}"

@@ -1,0 +1,33 @@
+"""Fig. 5: IPC at 16/32/64 KB L1D, normalized to 16 KB.
+
+Paper shape: several CI applications speed up markedly with larger
+caches, while low-memory-ratio CS applications (e.g. HS, NW) barely
+react because memory is a small fraction of their execution.
+"""
+
+from conftest import bench_once
+
+from repro.analysis import geometric_mean
+from repro.experiments.figures import fig5_data, render_fig5
+from repro.workloads import CI_APPS, CS_APPS
+
+
+def test_fig5_ipc_size(benchmark, show):
+    data = bench_once(benchmark, fig5_data)
+    show(render_fig5(data))
+    assert len(data) == 18
+
+    ci_64 = geometric_mean([data[a]["64KB"] for a in CI_APPS])
+    cs_64 = geometric_mean([data[a]["64KB"] for a in CS_APPS])
+
+    # CI applications benefit from capacity far more than CS ones
+    assert ci_64 > 1.10, f"CI apps gained only {ci_64:.3f} at 64KB"
+    assert ci_64 > cs_64
+
+    # CS applications stay within a narrow band of the baseline
+    for app in CS_APPS:
+        assert 0.9 < data[app]["64KB"] < 1.25, f"{app} moved too much"
+
+    # capacity is (weakly) monotone on the CI geomean
+    ci_32 = geometric_mean([data[a]["32KB"] for a in CI_APPS])
+    assert ci_64 >= 0.98 * ci_32

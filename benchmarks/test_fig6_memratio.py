@@ -1,0 +1,22 @@
+"""Fig. 6: memory access ratios, sorted, with the 1% CS/CI threshold."""
+
+from conftest import bench_once
+
+from repro.experiments.figures import fig6_data, render_fig6
+
+
+def test_fig6_memratio(benchmark, show):
+    data = bench_once(benchmark, fig6_data)
+    show(render_fig6(data))
+    assert len(data) == 18
+
+    # the ratio-based classification must reproduce Table 2 exactly
+    for c in data:
+        assert c.matches_paper, f"{c.abbr}: predicted {c.predicted_type}"
+
+    # sorted order puts every CS app before every CI app (threshold 1%)
+    types = [c.paper_type for c in data]
+    assert types == ["CS"] * 9 + ["CI"] * 9
+
+    # STR has the highest ratio in the paper's Fig. 6
+    assert data[-1].abbr in ("STR", "BFS")

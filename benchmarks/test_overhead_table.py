@@ -1,0 +1,16 @@
+"""Section 4.3: DLP hardware overhead — the paper's exact numbers."""
+
+from conftest import bench_once
+
+from repro.core.overhead import compute_overhead
+from repro.experiments.figures import render_overhead
+
+
+def test_overhead_table(benchmark, show):
+    report = bench_once(benchmark, compute_overhead)
+    show(render_overhead())
+    assert report.tda_extension_bytes == 176
+    assert report.vta_bytes == 624
+    assert report.pdpt_bytes == 464
+    assert report.total_extra_bytes == 1264
+    assert round(100 * report.overhead_fraction, 2) == 7.48

@@ -1,0 +1,16 @@
+"""Table 1: the GPU configuration used in the experiments."""
+
+from conftest import bench_once
+
+from repro.experiments.figures import render_table1, table1_data
+
+
+def test_table1_config(benchmark, show):
+    rows = bench_once(benchmark, table1_data)
+    assert len(rows) == 12
+    show(render_table1())
+    # spot-check the paper's values
+    values = dict(rows)
+    assert values["Number of Cores"] == "16"
+    assert values["L1D cache"] == "16KB, 32sets, 4-ways, Hash index"
+    assert values["Memory Bandwidth"] == "177.4 GB/s"

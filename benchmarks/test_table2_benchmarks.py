@@ -1,0 +1,14 @@
+"""Table 2: the benchmark applications and their CS/CI classes."""
+
+from conftest import bench_once
+
+from repro.experiments.figures import render_table2, table2_data
+
+
+def test_table2_benchmarks(benchmark, show):
+    rows = bench_once(benchmark, table2_data)
+    assert len(rows) == 18
+    show(render_table2())
+    types = [r[3] for r in rows]
+    assert types.count("CS") == 9
+    assert types.count("CI") == 9

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Write your own workload model and evaluate it under DLP.
+
+Demonstrates the extension path a downstream user takes: subclass
+``repro.workloads.Workload``, describe your kernel's memory structure as
+per-warp address streams, and reuse the whole experiment stack
+(profiling, policy comparison) unchanged.
+
+The example models a sparse matrix-vector multiply (SpMV): row-pointer
+reads, streaming column-index/value reads, and gathers into the dense
+vector x — whose hot entries are exactly what line protection preserves.
+
+Run:  python examples/custom_workload.py
+"""
+
+import numpy as np
+
+from repro.analysis import RD_LABELS, stacked_percent_rows
+from repro.core import make_policy
+from repro.experiments.cachesim import profile_reuse
+from repro.experiments.runner import harness_config
+from repro.gpu import GpuSimulator, Kernel, compute, load, store
+from repro.workloads import Workload, WorkloadMeta
+
+LINE = 128
+
+_PC_ROWPTR = 0x9000
+_PC_COLVAL = 0x9008
+_PC_XVEC = 0x9010
+_PC_Y = 0x9018
+
+
+class SpMV(Workload):
+    """CSR SpMV with a locality-banded sparsity pattern."""
+
+    meta = WorkloadMeta(
+        name="Sparse Matrix-Vector Multiply",
+        abbr="SPMV",
+        suite="custom",
+        paper_type="CI",
+        paper_input="n/a",
+        scaled_input="3072 rows, 16 nnz/row, banded columns",
+    )
+
+    def __init__(self, scale: float = 1.0):
+        super().__init__(scale)
+        self.rows = int(3072 * scale)
+        self.nnz_per_row = 16
+        self.warps_per_cta = 8
+
+    def build_kernels(self):
+        n = self.rows
+        rowptr = self.addr.region("rowptr", (n + 1) * 4)
+        colval = self.addr.region("colval", n * self.nnz_per_row * 8)
+        xvec = self.addr.region("x", n * 4)
+        yvec = self.addr.region("y", n * 4)
+        gen = self.rng.generator
+        num_ctas = max(1, n // 32 // self.warps_per_cta)
+
+        def trace(cta: int, w: int):
+            row_block = (cta * self.warps_per_cta + w) * 32
+            yield load(_PC_ROWPTR, self.coalesced(rowptr + row_block * 4))
+            yield compute(2)
+            for step in range(self.nnz_per_row // 4):
+                nz = (row_block * self.nnz_per_row + step * 128)
+                # stream of column indices + values
+                yield load(_PC_COLVAL, self.coalesced(colval + nz * 8, 8))
+                yield compute(2)
+                # gather from x: banded columns near the row index
+                cols = (row_block + gen.integers(-256, 257, size=32)) % n
+                yield load(_PC_XVEC, xvec + cols.astype(np.int64) * 4)
+                yield compute(3)
+            yield store(_PC_Y, self.coalesced(yvec + row_block * 4))
+
+        return [Kernel("spmv_csr", num_ctas, self.warps_per_cta, trace)]
+
+
+def main() -> None:
+    workload = SpMV()
+    config = harness_config()
+
+    profiler = profile_reuse(workload, config)
+    print(stacked_percent_rows(
+        ["SPMV"], [profiler.overall_fractions()], RD_LABELS,
+        title="SpMV reuse-distance distribution",
+    ))
+    ratio = workload.static_stats()["mem_access_ratio"]
+    print(f"memory access ratio: {100 * ratio:.2f}% "
+          f"({'CI' if ratio >= 0.01 else 'CS'})\n")
+
+    for policy_name in ("baseline", "stall_bypass", "global_protection", "dlp"):
+        sim = GpuSimulator(
+            workload.kernels(), config, lambda p=policy_name: make_policy(p)
+        )
+        r = sim.run()
+        print(f"{policy_name:18s} cycles={r.cycles:7d} ipc={r.ipc:7.2f} "
+              f"hit_rate={r.l1d.hit_rate:.3f} bypasses={r.l1d.bypasses}")
+
+
+if __name__ == "__main__":
+    main()

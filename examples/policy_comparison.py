@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Compare all four cache-management schemes (plus the 32 KB cache) on
+one of the paper's Cache Insufficient benchmarks.
+
+This reproduces one application's column of the paper's Figures 10-13:
+normalized IPC, L1D traffic, evictions, hit rate and interconnect
+traffic for Similarity Score (Mars), the doc-pair workload whose partner
+sweep thrashes a 16 KB cache.
+
+Run:  python examples/policy_comparison.py [APP]
+"""
+
+import sys
+
+from repro.analysis import ascii_table
+from repro.experiments.runner import (
+    FIG10_SCHEMES,
+    SCHEME_LABELS,
+    harness_config,
+    run_workload,
+)
+
+
+def main(app: str = "SS") -> None:
+    config = harness_config()
+    print(f"Simulating {app} under {len(FIG10_SCHEMES)} schemes "
+          f"({config.num_sms} SMs, Table 1 per-SM machine)...\n")
+
+    results = {}
+    for scheme in FIG10_SCHEMES:
+        results[scheme] = run_workload(app, scheme, config)
+
+    base = results["baseline"]
+    rows = []
+    for scheme in FIG10_SCHEMES:
+        r = results[scheme]
+        rows.append((
+            SCHEME_LABELS[scheme],
+            f"{r.ipc / base.ipc:.3f}",
+            f"{r.l1d.serviced_accesses / base.l1d.serviced_accesses:.3f}",
+            f"{r.l1d.evictions_total / max(base.l1d.evictions_total, 1):.3f}",
+            f"{r.l1d.hit_rate:.3f}",
+            f"{r.interconnect['total_bytes'] / base.interconnect['total_bytes']:.3f}",
+        ))
+
+    print(ascii_table(
+        ["Scheme", "IPC", "L1D traffic", "Evictions", "Hit rate", "Icnt bytes"],
+        rows,
+        title=f"{app}: normalized to the 16KB baseline (Figs. 10-13 column)",
+    ))
+
+    dlp = results["dlp"]
+    print(f"\nDLP internals: {dlp.policy}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1].upper() if len(sys.argv) > 1 else "SS")

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate a small kernel under the baseline and DLP caches.
+
+Builds a deliberately cache-hostile kernel (every warp loops over a
+private 8-line buffer; together the buffers overflow the 16 KB L1D),
+runs it on the modelled GPU under the baseline LRU policy and under
+Dynamic Line Protection, and prints what changed.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import GPUConfig, GpuSimulator, make_policy
+from repro.analysis.reuse import rd_of_sequence
+from repro.cache.tagarray import CacheGeometry
+from repro.gpu import Kernel, compute, load
+
+LINE = 128
+
+
+def loop_buffer_trace(cta: int, warp: int):
+    """Each warp re-reads a private 8-line buffer 30 times; with 48 warps
+    resident per SM that is ~3x the L1D - the thrashing regime DLP fixes."""
+    base = (cta * 64 + warp) * 1_000_000
+    for _ in range(30):
+        for j in range(8):
+            yield compute(2)
+            yield load(0x10 + j * 8, np.full(32, base + j * LINE, dtype=np.int64))
+
+
+def main() -> None:
+    # --- the paper's Fig. 2 worked example -----------------------------
+    rds = rd_of_sequence([0, 1, 2, 0], CacheGeometry(num_sets=1, assoc=2))
+    print("Fig. 2 warm-up: accesses Addr0 Addr1 Addr2 Addr0 on a 2-way set")
+    print(f"  -> reuse distance of the second Addr0 access: {rds[-1]} "
+          "(> associativity, so LRU misses)\n")
+
+    # --- run the kernel under two policies ------------------------------
+    kernel = Kernel("loop_buffers", num_ctas=8, warps_per_cta=8,
+                    trace_fn=loop_buffer_trace)
+    config = GPUConfig().scaled(2)   # Table 1 machine, two SMs for speed
+
+    results = {}
+    for policy_name in ("baseline", "dlp"):
+        sim = GpuSimulator(kernel, config, lambda p=policy_name: make_policy(p))
+        results[policy_name] = sim.run()
+
+    base, dlp = results["baseline"], results["dlp"]
+    print(f"{'':24s}{'baseline':>12s}{'DLP':>12s}")
+    rows = [
+        ("cycles", base.cycles, dlp.cycles),
+        ("IPC", f"{base.ipc:.1f}", f"{dlp.ipc:.1f}"),
+        ("L1D hit rate", f"{base.l1d.hit_rate:.3f}", f"{dlp.l1d.hit_rate:.3f}"),
+        ("L1D hits", base.l1d.hits_total, dlp.l1d.hits_total),
+        ("L1D evictions", base.l1d.evictions_total, dlp.l1d.evictions_total),
+        ("bypassed accesses", base.l1d.bypasses, dlp.l1d.bypasses),
+        ("pipeline stall cycles", base.ldst_stall_cycles, dlp.ldst_stall_cycles),
+    ]
+    for name, b, d in rows:
+        print(f"{name:24s}{str(b):>12s}{str(d):>12s}")
+
+    speedup = base.cycles / dlp.cycles
+    print(f"\nDLP speedup over baseline: {speedup:.2f}x")
+    print(f"PD updates taken: {dlp.policy}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Reuse-distance analysis of a benchmark, the paper's Section 3 study.
+
+For a chosen Table 2 application this prints:
+
+* its overall reuse-distance distribution (one bar of Fig. 3);
+* its per-memory-instruction RDDs (the Fig. 7 analysis that motivates
+  per-instruction protection distances);
+* its reuse-data miss rate at 16/32/64 KB (one group of Fig. 4);
+* its memory-access ratio and CS/CI classification (Fig. 6 / Table 2).
+
+Run:  python examples/reuse_analysis.py [APP]     (default: BFS)
+"""
+
+import sys
+
+from repro.analysis import (
+    RD_LABELS,
+    classify_workload,
+    stacked_percent_rows,
+)
+from repro.experiments.cachesim import capacity_sweep, profile_reuse
+from repro.experiments.runner import harness_config
+from repro.workloads import make_workload
+
+
+def main(app: str = "BFS") -> None:
+    config = harness_config()
+    workload = make_workload(app)
+
+    print(f"Profiling {app} ({workload.meta.name}, {workload.meta.suite})...")
+    print(f"  paper input: {workload.meta.paper_input}; "
+          f"model: {workload.meta.scaled_input}\n")
+
+    profiler = profile_reuse(workload, config)
+    print(stacked_percent_rows(
+        [app], [profiler.overall_fractions()], RD_LABELS,
+        title="Reuse Distance Distribution (Fig. 3 bar)",
+    ))
+    print(f"  accesses={profiler.accesses}  reuses={profiler.reuses}  "
+          f"compulsory={profiler.compulsory}\n")
+
+    per_pc = sorted(profiler.pc_fractions().items())
+    print(stacked_percent_rows(
+        [f"insn{i + 1}" for i in range(len(per_pc))],
+        [fracs for _, fracs in per_pc],
+        RD_LABELS,
+        title="Per-instruction RDDs (Fig. 7 analysis)",
+    ))
+
+    print("\nReuse-data miss rate vs capacity (Fig. 4 group):")
+    sweep = capacity_sweep(workload, (16, 32, 64), config)
+    for kb in (16, 32, 64):
+        rate = sweep[kb]["reuse_miss_rate"]
+        print(f"  {kb:2d}KB: {100 * rate:5.1f}%")
+
+    c = classify_workload(app)
+    print(f"\nMemory access ratio: {100 * c.mem_access_ratio:.2f}% "
+          f"-> {c.predicted_type} (paper says {c.paper_type})")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1].upper() if len(sys.argv) > 1 else "BFS")

@@ -1,0 +1,58 @@
+"""repro — reproduction of "Improving First Level Cache Efficiency for
+GPUs Using Dynamic Line Protection" (Zhu, Wernsman, Zambreno; ICPP 2018).
+
+The package provides:
+
+* :mod:`repro.core` — the DLP scheme and its comparators
+  (baseline LRU, Stall-Bypass, Global-Protection);
+* :mod:`repro.cache` — the L1D/L2 cache substrate (MSHRs, reservation,
+  stall semantics);
+* :mod:`repro.gpu` — a warp-level discrete-event GPU timing simulator
+  standing in for GPGPU-Sim;
+* :mod:`repro.memory` — interconnect / memory-partition / DRAM models;
+* :mod:`repro.workloads` — the 18 synthetic benchmark models of Table 2;
+* :mod:`repro.analysis` — reuse-distance profiling and metrics;
+* :mod:`repro.experiments` — one driver per paper table/figure.
+
+Quick start::
+
+    from repro import run_app
+    result = run_app("bfs", policy="dlp")
+    print(result.ipc)
+"""
+
+from repro.core import (
+    BaselinePolicy,
+    DlpPolicy,
+    GlobalProtectionPolicy,
+    StallBypassPolicy,
+    make_policy,
+)
+from repro.gpu import BASELINE_CONFIG, SCALED_CONFIG, GPUConfig, GpuSimulator, SimResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaselinePolicy",
+    "StallBypassPolicy",
+    "GlobalProtectionPolicy",
+    "DlpPolicy",
+    "make_policy",
+    "GPUConfig",
+    "BASELINE_CONFIG",
+    "SCALED_CONFIG",
+    "GpuSimulator",
+    "SimResult",
+    "run_app",
+    "__version__",
+]
+
+
+def run_app(name: str, policy: str = "baseline", config: GPUConfig = None, **kwargs):
+    """Convenience wrapper: simulate one Table 2 application end to end.
+
+    Imports lazily so ``import repro`` stays light.
+    """
+    from repro.experiments.runner import run_workload
+
+    return run_workload(name, policy=policy, config=config, **kwargs)

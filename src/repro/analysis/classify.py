@@ -1,0 +1,54 @@
+"""Cache Sufficient / Cache Insufficient classification (Section 3.2).
+
+The paper classifies an application by its *memory access ratio* —
+memory data requests per executed thread instruction — with an empirical
+threshold of 1 %: below it, memory barely moves IPC (Cache Sufficient);
+above it, the L1D matters (Cache Insufficient).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.workloads import ALL_APPS, make_workload
+
+MEMORY_ACCESS_RATIO_THRESHOLD = 0.01
+
+
+@dataclass(frozen=True)
+class Classification:
+    abbr: str
+    mem_access_ratio: float
+    predicted_type: str   # from the ratio + threshold
+    paper_type: str       # Table 2 ground truth
+
+    @property
+    def matches_paper(self) -> bool:
+        return self.predicted_type == self.paper_type
+
+
+def classify_ratio(ratio: float, threshold: float = MEMORY_ACCESS_RATIO_THRESHOLD) -> str:
+    return "CI" if ratio >= threshold else "CS"
+
+
+def classify_workload(abbr: str, scale: float = 1.0) -> Classification:
+    """Compute a workload's ratio from its static traces and classify."""
+    wl = make_workload(abbr, scale)
+    ratio = wl.static_stats()["mem_access_ratio"]
+    return Classification(
+        abbr=abbr,
+        mem_access_ratio=ratio,
+        predicted_type=classify_ratio(ratio),
+        paper_type=wl.meta.paper_type,
+    )
+
+
+def classify_all(scale: float = 1.0) -> List[Classification]:
+    """Fig. 6's data: every app's ratio, in the paper's sorted intent
+    (returned in registry order; callers may sort by ratio)."""
+    return [classify_workload(a, scale) for a in ALL_APPS]
+
+
+def ratios_by_app(scale: float = 1.0) -> Dict[str, float]:
+    return {c.abbr: c.mem_access_ratio for c in classify_all(scale)}

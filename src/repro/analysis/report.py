@@ -1,0 +1,89 @@
+"""ASCII rendering of the paper's tables and figures.
+
+The benchmark harness prints each reproduced table/figure as text: plain
+tables for Tables 1/2, grouped-bar renderings for the normalized-metric
+figures, and stacked-percentage rows for the RDD figures.  Keeping the
+renderers here (rather than inline in the benches) lets tests assert on
+their structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Fixed-width table with a rule under the header."""
+    cols = [[str(h)] + [str(r[i]) for r in rows] for i, h in enumerate(headers)]
+    widths = [max(len(cell) for cell in col) for col in cols]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    width: int = 40,
+    fmt: str = "{:.2f}",
+) -> str:
+    """One text block per label with a bar per series — the layout of the
+    paper's grouped-bar figures (Figs. 5, 10-13)."""
+    max_value = max(
+        (v for vals in series.values() for v in vals if v == v), default=1.0
+    )
+    scale = width / max_value if max_value > 0 else 1.0
+    name_w = max(len(n) for n in series)
+    lines = [title] if title else []
+    for i, label in enumerate(labels):
+        lines.append(label)
+        for name, vals in series.items():
+            v = vals[i]
+            bar = "#" * max(0, int(round(v * scale)))
+            lines.append(f"  {name.ljust(name_w)} |{bar} " + fmt.format(v))
+    return "\n".join(lines)
+
+
+def stacked_percent_rows(
+    labels: Sequence[str],
+    fractions: Sequence[Sequence[float]],
+    range_labels: Sequence[str],
+    title: str = "",
+) -> str:
+    """Stacked-percentage rows (the RDD figures 3 and 7)."""
+    lines = [title] if title else []
+    header = "app".ljust(8) + "".join(l.rjust(10) for l in range_labels)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, fracs in zip(labels, fractions):
+        row = str(label).ljust(8) + "".join(
+            f"{100 * f:9.1f}%" for f in fracs
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def normalized_summary(
+    per_app: Mapping[str, Mapping[str, float]],
+    schemes: Sequence[str],
+    group_means: Mapping[str, Mapping[str, float]] | None = None,
+) -> str:
+    """Tabular normalized-metric view: one row per app, one column per
+    scheme, with optional G.MEANS rows per group."""
+    headers = ["app"] + list(schemes)
+    rows: List[List[str]] = []
+    for app, values in per_app.items():
+        rows.append([app] + [f"{values[s]:.3f}" for s in schemes])
+    if group_means:
+        for group, values in group_means.items():
+            rows.append([f"G.MEAN {group}"] + [f"{values[s]:.3f}" for s in schemes])
+    return ascii_table(headers, rows)

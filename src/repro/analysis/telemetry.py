@@ -1,0 +1,141 @@
+"""PD-evolution telemetry: watch the Figure 9 dynamics at runtime.
+
+The DLP mechanism is a feedback loop — per-instruction Protection
+Distances rise while the VTA reports lost reuse and decay once the TDA
+captures it.  :class:`PdTracker` hooks a :class:`~repro.core.dlp.DlpPolicy`
+(or :class:`~repro.core.global_protection.GlobalProtectionPolicy`) and
+records a snapshot at every sample boundary, so the convergence
+behaviour can be inspected, asserted on, or rendered:
+
+    policy = make_policy("dlp")
+    tracker = PdTracker.attach_to(policy)
+    ... run the simulation ...
+    print(tracker.render())
+
+Attachment is by wrapping the policy's ``_end_sample`` — no simulator
+support needed, and detaching restores the original method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.report import ascii_table
+
+
+@dataclass
+class PdSample:
+    """State captured at one sample boundary (after the PD update)."""
+
+    index: int
+    path: str                      # which Fig. 9 branch ran
+    global_tda_hits: int
+    global_vta_hits: int
+    pds: Dict[int, int]            # insn_id -> PD (active entries only)
+
+    @property
+    def max_pd(self) -> int:
+        return max(self.pds.values(), default=0)
+
+    @property
+    def mean_pd(self) -> float:
+        return sum(self.pds.values()) / len(self.pds) if self.pds else 0.0
+
+
+@dataclass
+class PdTracker:
+    """Recorded PD trajectory of one policy instance."""
+
+    samples: List[PdSample] = field(default_factory=list)
+    _policy: object = None
+    _original_end_sample: object = None
+
+    # -- attachment ------------------------------------------------------
+
+    @classmethod
+    def attach_to(cls, policy) -> "PdTracker":
+        """Wrap ``policy._end_sample`` to record a snapshot per sample."""
+        if not hasattr(policy, "_end_sample"):
+            raise TypeError(
+                f"{type(policy).__name__} has no sampling to track"
+            )
+        tracker = cls()
+        tracker._policy = policy
+        tracker._original_end_sample = policy._end_sample
+
+        def wrapped() -> None:
+            pre_tda, pre_vta = tracker._hit_counts(policy)
+            tracker._original_end_sample()
+            tracker._record(policy, pre_tda, pre_vta)
+
+        policy._end_sample = wrapped
+        return tracker
+
+    def detach(self) -> None:
+        if self._policy is not None and self._original_end_sample is not None:
+            self._policy._end_sample = self._original_end_sample
+            self._policy = None
+
+    # -- recording -------------------------------------------------------
+
+    @staticmethod
+    def _hit_counts(policy):
+        if hasattr(policy, "pdpt"):
+            return policy.pdpt.global_tda_hits, policy.pdpt.global_vta_hits
+        return policy.global_tda_hits, policy.global_vta_hits
+
+    def _record(self, policy, pre_tda: int, pre_vta: int) -> None:
+        if hasattr(policy, "pdpt"):
+            pds = {
+                e.insn_id: e.pd for e in policy.pdpt.entries if e.ever_used
+            }
+        else:
+            pds = {0: policy.global_pd}
+        if pre_vta > pre_tda:
+            path = "increase"
+        elif 2 * pre_vta < pre_tda:
+            path = "decrease"
+        else:
+            path = "hold"
+        self.samples.append(
+            PdSample(len(self.samples), path, pre_tda, pre_vta, pds)
+        )
+
+    # -- queries ------------------------------------------------------------
+
+    def trajectory(self, insn_id: int) -> List[int]:
+        """PD values of one instruction across all samples."""
+        return [s.pds.get(insn_id, 0) for s in self.samples]
+
+    def path_counts(self) -> Dict[str, int]:
+        out = {"increase": 0, "decrease": 0, "hold": 0}
+        for s in self.samples:
+            out[s.path] += 1
+        return out
+
+    def converged_pds(self, tail: int = 5) -> Dict[int, float]:
+        """Mean PD per instruction over the last ``tail`` samples."""
+        recent = self.samples[-tail:]
+        if not recent:
+            return {}
+        ids = set().union(*(s.pds.keys() for s in recent))
+        return {
+            i: sum(s.pds.get(i, 0) for s in recent) / len(recent) for i in ids
+        }
+
+    # -- rendering ------------------------------------------------------------
+
+    def render(self, max_rows: int = 20) -> str:
+        rows = []
+        step = max(1, len(self.samples) // max_rows)
+        for s in self.samples[::step]:
+            rows.append((
+                s.index, s.path, s.global_tda_hits, s.global_vta_hits,
+                f"{s.mean_pd:.1f}", s.max_pd,
+            ))
+        return ascii_table(
+            ["sample", "path", "TDA hits", "VTA hits", "mean PD", "max PD"],
+            rows,
+            title="PD evolution",
+        )

@@ -1,0 +1,29 @@
+"""Generic set-associative cache substrate.
+
+This package implements the machinery the paper's Section 2 describes for
+the baseline L1D: a tag-and-data array with line reservation
+(allocate-on-miss), Miss Status Holding Registers with merge limits, a
+bounded miss queue, and the stall semantics that block the whole memory
+pipeline when a miss cannot be absorbed.  Replacement/bypass decisions are
+delegated to a :class:`repro.core.policy.CachePolicy` so the four schemes
+the paper evaluates share one cache model.
+"""
+
+from repro.cache.line import CacheLine, LineState
+from repro.cache.mshr import MshrTable, MissQueue
+from repro.cache.tagarray import TagArray
+from repro.cache.l1d import L1DCache, AccessOutcome, AccessResult, StallReason
+from repro.cache.l2 import L2Cache
+
+__all__ = [
+    "CacheLine",
+    "LineState",
+    "MshrTable",
+    "MissQueue",
+    "TagArray",
+    "L1DCache",
+    "AccessOutcome",
+    "AccessResult",
+    "StallReason",
+    "L2Cache",
+]

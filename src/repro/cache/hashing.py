@@ -1,0 +1,30 @@
+"""Set-index functions for the tag arrays.
+
+Table 1 of the paper configures the L1D with a *hash* index and the L2
+with a *linear* index; both functions live in :mod:`repro.utils.hashing`
+and are re-exported here with a small registry so cache geometry can name
+its index function in configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.utils.hashing import linear_set_index, xor_set_index
+
+IndexFn = Callable[[int, int], int]
+
+INDEX_FUNCTIONS: Dict[str, IndexFn] = {
+    "linear": linear_set_index,
+    "hash": xor_set_index,
+}
+
+
+def get_index_fn(name: str) -> IndexFn:
+    try:
+        return INDEX_FUNCTIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown set-index function {name!r}; expected one of "
+            f"{sorted(INDEX_FUNCTIONS)}"
+        ) from None

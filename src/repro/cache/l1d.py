@@ -1,0 +1,430 @@
+"""L1 data cache model with MSHRs, line reservation, stall and bypass.
+
+This reproduces the request-handling flow of the paper's Section 2 /
+Figure 1 (baseline) and Figure 8 (DLP): hit check, MSHR merge, line
+allocation with reservation, bounded miss queue, and the blocking-retry
+behaviour when a miss cannot be absorbed.  All policy-specific behaviour
+is delegated to a :class:`repro.core.policy.CachePolicy`.
+
+Write handling follows GPGPU-Sim's Fermi L1D: global stores are
+write-through and no-allocate, and a store hit evicts the line
+(write-evict).  Stores therefore never wait for a response.
+
+The model is *tag-functional*: no data payloads are stored, since every
+experiment in the paper is defined over hit/miss/bypass/eviction events
+and their timing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.cache.line import CacheLine, LineState
+from repro.cache.mshr import MissQueue, MshrTable
+from repro.cache.tagarray import CacheGeometry, TagArray
+from repro.core.policy import CachePolicy, StallReason
+
+
+class AccessOutcome(enum.Enum):
+    HIT = "hit"                       # valid line, data returned
+    HIT_RESERVED = "hit_reserved"     # pending line, merged into MSHR
+    MISS = "miss"                     # allocated, fetch sent
+    BYPASS = "bypass"                 # sent to interconnect uncached
+    WRITE_HIT = "write_hit"           # write-through + evict
+    WRITE_MISS = "write_miss"         # write-through, no allocate
+    STALL = "stall"                   # not processed; caller must retry
+
+
+@dataclass
+class MemAccess:
+    """One coalesced memory request arriving at the L1D."""
+
+    block_addr: int
+    pc: int = 0
+    insn_id: int = 0
+    is_write: bool = False
+    warp_id: int = 0
+    sm_id: int = 0
+    now: int = 0
+    waiter: Any = None
+
+
+@dataclass
+class AccessResult:
+    outcome: AccessOutcome
+    stall_reason: Optional[StallReason] = None
+    evicted_block: Optional[int] = None
+
+    @property
+    def is_stall(self) -> bool:
+        return self.outcome is AccessOutcome.STALL
+
+
+@dataclass
+class FetchRequest:
+    """A read fetch travelling from the L1D toward the interconnect."""
+
+    block_addr: int
+    insn_id: int
+    sm_id: int
+    is_bypass: bool
+    is_write: bool = False
+    issued_at: int = 0
+    waiter: Any = None
+
+
+@dataclass
+class L1DStats:
+    """Raw event counters; figure-level metrics derive from these."""
+
+    loads: int = 0
+    stores: int = 0
+    hits: int = 0
+    hit_reserved: int = 0
+    misses: int = 0
+    bypasses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    evictions: int = 0
+    write_evicts: int = 0
+    fills: int = 0
+    sent_fetches: int = 0
+    sent_writes: int = 0
+    stalls: Dict[str, int] = field(default_factory=dict)
+
+    def record_stall(self, reason: StallReason) -> None:
+        self.stalls[reason.value] = self.stalls.get(reason.value, 0) + 1
+
+    # -- derived metrics used by the paper's figures ----------------------
+
+    @property
+    def accesses(self) -> int:
+        return self.loads + self.stores
+
+    @property
+    def hits_total(self) -> int:
+        """Hits including pending hits (GPGPU-Sim counts both)."""
+        return self.hits + self.hit_reserved
+
+    @property
+    def serviced_accesses(self) -> int:
+        """Accesses the cache handled itself (Fig. 11a's 'L1D traffic')."""
+        return self.accesses - self.bypasses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit rate over non-bypassed loads (Fig. 12a: bypassed accesses
+        do not count toward the rate)."""
+        serviced_loads = self.loads - self.bypasses
+        if serviced_loads <= 0:
+            return 0.0
+        return self.hits_total / serviced_loads
+
+    @property
+    def evictions_total(self) -> int:
+        """Replacement evictions plus write-evicts (Fig. 11b)."""
+        return self.evictions + self.write_evicts
+
+    @property
+    def total_stalls(self) -> int:
+        return sum(self.stalls.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        out: Dict[str, float] = {
+            "loads": self.loads,
+            "stores": self.stores,
+            "hits": self.hits,
+            "hit_reserved": self.hit_reserved,
+            "misses": self.misses,
+            "bypasses": self.bypasses,
+            "write_hits": self.write_hits,
+            "write_misses": self.write_misses,
+            "evictions": self.evictions,
+            "write_evicts": self.write_evicts,
+            "fills": self.fills,
+            "sent_fetches": self.sent_fetches,
+            "sent_writes": self.sent_writes,
+            "hit_rate": self.hit_rate,
+            "serviced_accesses": self.serviced_accesses,
+            "evictions_total": self.evictions_total,
+            "total_stalls": self.total_stalls,
+        }
+        for reason, count in self.stalls.items():
+            out[f"stall_{reason}"] = count
+        return out
+
+
+class L1DCache:
+    """The per-SM L1 data cache.
+
+    Parameters
+    ----------
+    geometry:
+        Set/way/line-size layout (Table 1 baseline: 32 sets x 4 ways x 128 B).
+    policy:
+        Management scheme; owns replacement, protection and bypass choices.
+    send_fn:
+        Callback invoked for every request leaving toward the interconnect
+        (fetches, bypasses and write-throughs).  The timing simulator wires
+        this to the crossbar; the functional path wires it to a counter.
+    mshr_entries / mshr_merge / miss_queue_depth:
+        Resource limits that produce the Section 2 stall conditions.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        policy: CachePolicy,
+        send_fn: Optional[Callable[[FetchRequest], None]] = None,
+        mshr_entries: int = 32,
+        mshr_merge: int = 8,
+        miss_queue_depth: int = 8,
+        sm_id: int = 0,
+    ):
+        self.geometry = geometry
+        self.tags = TagArray(geometry)
+        self.policy = policy
+        self.mshr = MshrTable(mshr_entries, mshr_merge)
+        self.miss_queue = MissQueue(miss_queue_depth)
+        self.send_fn = send_fn or (lambda req: None)
+        self.sm_id = sm_id
+        self.stats = L1DStats()
+        policy.attach(self)
+
+    # ------------------------------------------------------------------
+    # main protocol
+    # ------------------------------------------------------------------
+
+    def access(self, access: MemAccess) -> AccessResult:
+        """Process one request; returns STALL without side effects when the
+        request cannot be absorbed (the caller retries, blocking the
+        pipeline behind it, exactly as Section 2 describes)."""
+        if access.is_write:
+            return self._access_write(access)
+        return self._access_load(access)
+
+    def _access_load(self, access: MemAccess) -> AccessResult:
+        cache_set = self.tags.set_for(access.block_addr)
+        tag = self.geometry.tag(access.block_addr)
+        line = cache_set.find(tag)
+
+        if line is not None and line.state is LineState.VALID:
+            return self._complete_hit(cache_set, line, access)
+
+        if line is not None and line.state is LineState.RESERVED:
+            return self._merge_pending(cache_set, line, access)
+
+        return self._handle_miss(cache_set, access)
+
+    def _complete_hit(self, cache_set, line: CacheLine, access: MemAccess) -> AccessResult:
+        self._query(cache_set, access)
+        self.stats.loads += 1
+        self.stats.hits += 1
+        self.policy.on_hit(line, access, reserved=False)
+        self.tags.touch(line)
+        self._done(access, AccessOutcome.HIT)
+        return AccessResult(AccessOutcome.HIT)
+
+    def _merge_pending(self, cache_set, line: CacheLine, access: MemAccess) -> AccessResult:
+        entry = self.mshr.lookup(access.block_addr)
+        if entry is None:
+            raise RuntimeError(
+                f"reserved line {access.block_addr:#x} without MSHR entry"
+            )
+        if entry.num_requests >= self.mshr.max_merged:
+            if self.policy.bypass_on_stall(StallReason.MERGE_FULL, access):
+                return self._do_bypass(cache_set, access, count_query=True)
+            self.stats.record_stall(StallReason.MERGE_FULL)
+            return AccessResult(AccessOutcome.STALL, StallReason.MERGE_FULL)
+        self._query(cache_set, access)
+        self.stats.loads += 1
+        self.stats.hit_reserved += 1
+        self.mshr.merge(access.block_addr, access.waiter)
+        self.policy.on_hit(line, access, reserved=True)
+        self._done(access, AccessOutcome.HIT_RESERVED)
+        return AccessResult(AccessOutcome.HIT_RESERVED)
+
+    def _handle_miss(self, cache_set, access: MemAccess) -> AccessResult:
+        # Resource checks happen before side effects so a stalled request
+        # can retry without double-counting.
+        if self.mshr.is_full:
+            if self.policy.bypass_on_stall(StallReason.MSHR_FULL, access):
+                return self._do_bypass(cache_set, access, count_query=True, missed=True)
+            self.stats.record_stall(StallReason.MSHR_FULL)
+            return AccessResult(AccessOutcome.STALL, StallReason.MSHR_FULL)
+        if self.miss_queue.is_full:
+            if self.policy.bypass_on_stall(StallReason.MISS_QUEUE_FULL, access):
+                return self._do_bypass(cache_set, access, count_query=True, missed=True)
+            self.stats.record_stall(StallReason.MISS_QUEUE_FULL)
+            return AccessResult(AccessOutcome.STALL, StallReason.MISS_QUEUE_FULL)
+
+        # The set query (and the PL decay it implies) precedes victim
+        # selection: "a bypassed request also queries and consumes PL
+        # values of all entries in this set" (Section 4.1.1).
+        self._query(cache_set, access)
+        self.policy.on_miss(access)
+
+        victim = self.policy.select_victim(cache_set, access)
+        if victim is None:
+            if self.policy.bypass_on_no_victim(access):
+                return self._do_bypass(
+                    cache_set, access, count_query=False, missed=False
+                )
+            # Roll back nothing: the query already happened, but a stalled
+            # baseline request re-queries on retry in hardware too; we
+            # count the access once at completion instead.
+            self.stats.record_stall(StallReason.NO_RESERVABLE_LINE)
+            return AccessResult(AccessOutcome.STALL, StallReason.NO_RESERVABLE_LINE)
+
+        evicted_block: Optional[int] = None
+        if victim.state is LineState.VALID:
+            evicted_block = victim.block_addr
+            self.policy.on_evict(victim)
+            self.stats.evictions += 1
+        victim.invalidate()
+        victim.reserve(
+            self.geometry.tag(access.block_addr),
+            access.block_addr,
+            access.insn_id,
+            self.tags.next_stamp(),
+        )
+        self.policy.on_allocate(victim, access)
+
+        self.mshr.allocate(access.block_addr, access.insn_id, access.now, access.waiter)
+        fetch = FetchRequest(
+            block_addr=access.block_addr,
+            insn_id=access.insn_id,
+            sm_id=self.sm_id,
+            is_bypass=False,
+            issued_at=access.now,
+        )
+        self.miss_queue.push(fetch)
+        self.stats.loads += 1
+        self.stats.misses += 1
+        self._done(access, AccessOutcome.MISS)
+        return AccessResult(AccessOutcome.MISS, evicted_block=evicted_block)
+
+    def _do_bypass(
+        self,
+        cache_set,
+        access: MemAccess,
+        count_query: bool,
+        missed: bool = True,
+    ) -> AccessResult:
+        """Send the request to the interconnect without caching it.
+
+        Bypassed requests use the dedicated bypass path of Fig. 1/8, so
+        they need neither an MSHR entry nor a miss-queue slot.
+        """
+        if count_query:
+            self._query(cache_set, access)
+        if missed:
+            self.policy.on_miss(access)
+        self.stats.loads += 1
+        self.stats.bypasses += 1
+        self.policy.on_bypass(access)
+        fetch = FetchRequest(
+            block_addr=access.block_addr,
+            insn_id=access.insn_id,
+            sm_id=self.sm_id,
+            is_bypass=True,
+            issued_at=access.now,
+            waiter=access.waiter,
+        )
+        self.stats.sent_fetches += 1
+        self.send_fn(fetch)
+        self._done(access, AccessOutcome.BYPASS)
+        return AccessResult(AccessOutcome.BYPASS)
+
+    def _access_write(self, access: MemAccess) -> AccessResult:
+        cache_set = self.tags.set_for(access.block_addr)
+        tag = self.geometry.tag(access.block_addr)
+        line = cache_set.find(tag)
+        # Write-through traffic rides the miss queue toward the
+        # interconnect; a full queue blocks the pipeline.
+        if self.miss_queue.is_full:
+            if not self.policy.bypass_on_stall(StallReason.MISS_QUEUE_FULL, access):
+                self.stats.record_stall(StallReason.MISS_QUEUE_FULL)
+                return AccessResult(AccessOutcome.STALL, StallReason.MISS_QUEUE_FULL)
+            # Stall-Bypass routes the write down the bypass path instead.
+            self._query(cache_set, access)
+            self.stats.stores += 1
+            self.stats.write_misses += 1
+            self.stats.sent_writes += 1
+            self.send_fn(
+                FetchRequest(
+                    access.block_addr, access.insn_id, self.sm_id,
+                    is_bypass=True, is_write=True, issued_at=access.now,
+                )
+            )
+            self._done(access, AccessOutcome.WRITE_MISS)
+            return AccessResult(AccessOutcome.WRITE_MISS)
+
+        self._query(cache_set, access)
+        self.stats.stores += 1
+        outcome = AccessOutcome.WRITE_MISS
+        if line is not None and line.state is LineState.VALID:
+            # write-evict: invalidate the local copy, data goes to L2
+            line.invalidate()
+            self.stats.write_hits += 1
+            self.stats.write_evicts += 1
+            outcome = AccessOutcome.WRITE_HIT
+        else:
+            self.stats.write_misses += 1
+        write = FetchRequest(
+            block_addr=access.block_addr,
+            insn_id=access.insn_id,
+            sm_id=self.sm_id,
+            is_bypass=False,
+            is_write=True,
+            issued_at=access.now,
+        )
+        self.miss_queue.push(write)
+        self._done(access, outcome)
+        return AccessResult(outcome)
+
+    # ------------------------------------------------------------------
+    # interconnect side
+    # ------------------------------------------------------------------
+
+    def drain_miss_queue(self, max_requests: int = 1) -> int:
+        """Inject up to ``max_requests`` queued requests into the
+        interconnect (one per cycle at the paper's clocks).  Returns the
+        number injected."""
+        injected = 0
+        while injected < max_requests and not self.miss_queue.is_empty:
+            fetch: FetchRequest = self.miss_queue.pop()
+            if fetch.is_write:
+                self.stats.sent_writes += 1
+            else:
+                self.stats.sent_fetches += 1
+            self.send_fn(fetch)
+            injected += 1
+        return injected
+
+    def fill(self, block_addr: int, now: int) -> List[Any]:
+        """A fetch response arrived: fill the reserved line and return the
+        waiters (merged requests) to wake."""
+        entry = self.mshr.release(block_addr)
+        line = self.tags.probe(block_addr)
+        if line is None or line.state is not LineState.RESERVED:
+            raise RuntimeError(f"fill for {block_addr:#x} without reserved line")
+        line.fill(self.tags.next_stamp())
+        self.stats.fills += 1
+        return entry.waiters
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _query(self, cache_set, access: MemAccess) -> None:
+        cache_set.queries += 1
+        self.policy.on_set_query(cache_set, access)
+
+    def _done(self, access: MemAccess, outcome: AccessOutcome) -> None:
+        self.policy.on_access_done(access, outcome)
+
+    def reset_stats(self) -> None:
+        self.stats = L1DStats()

@@ -1,0 +1,111 @@
+"""L2 cache slice (one per memory partition).
+
+Table 1: 768 KB total, 64 sets, 8 ways, linear index — i.e. one
+64 KB slice (64 sets x 8 ways x 128 B) in each of the 12 memory
+partitions.  The slice is modelled functionally (LRU, write-through to
+DRAM for stores) with an unbounded merge table for outstanding DRAM
+fetches; the partition model in :mod:`repro.memory.partition` adds the
+timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.cache.tagarray import CacheGeometry, TagArray
+from repro.cache.line import LineState
+
+
+@dataclass
+class L2Stats:
+    reads: int = 0
+    writes: int = 0
+    hits: int = 0
+    misses: int = 0
+    merged: int = 0
+    evictions: int = 0
+    dram_reads: int = 0
+    dram_writes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.reads if self.reads else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "merged": self.merged,
+            "evictions": self.evictions,
+            "dram_reads": self.dram_reads,
+            "dram_writes": self.dram_writes,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class L2Cache:
+    """One L2 slice: LRU tag array plus a pending-fetch merge table."""
+
+    def __init__(self, geometry: Optional[CacheGeometry] = None):
+        self.geometry = geometry or CacheGeometry(
+            num_sets=64, assoc=8, line_size=128, index_fn="linear"
+        )
+        self.tags = TagArray(self.geometry)
+        self.stats = L2Stats()
+        # block_addr -> waiters for the in-flight DRAM fetch
+        self._pending: Dict[int, List[Any]] = {}
+
+    # ------------------------------------------------------------------
+
+    def read(self, block_addr: int, waiter: Any = None) -> str:
+        """Look up a read. Returns one of:
+
+        ``"hit"``     — data present, respond at L2 latency;
+        ``"miss"``    — DRAM fetch needed (caller schedules it);
+        ``"merged"``  — an identical fetch is already in flight; the
+                        waiter rides along and no new DRAM read is issued.
+        """
+        self.stats.reads += 1
+        line = self.tags.probe(block_addr)
+        if line is not None and line.state is LineState.VALID:
+            self.stats.hits += 1
+            self.tags.touch(line)
+            return "hit"
+        if block_addr in self._pending:
+            self.stats.merged += 1
+            self._pending[block_addr].append(waiter)
+            return "merged"
+        self.stats.misses += 1
+        self.stats.dram_reads += 1
+        self._pending[block_addr] = [waiter]
+        return "miss"
+
+    def fill(self, block_addr: int) -> List[Any]:
+        """DRAM data returned: install the line, return merged waiters."""
+        waiters = self._pending.pop(block_addr, [None])
+        cache_set = self.tags.set_for(block_addr)
+        tag = self.geometry.tag(block_addr)
+        if cache_set.find(tag) is None:
+            victim = cache_set.find_invalid()
+            if victim is None:
+                candidates = cache_set.replaceable()
+                victim = min(candidates, key=lambda l: l.lru_stamp)
+                self.stats.evictions += 1
+            victim.invalidate()
+            victim.reserve(tag, block_addr, 0, self.tags.next_stamp())
+            victim.fill(self.tags.next_stamp())
+        return waiters
+
+    def write(self, block_addr: int) -> None:
+        """Write-through: update the line if present, forward to DRAM."""
+        self.stats.writes += 1
+        self.stats.dram_writes += 1
+        line = self.tags.probe(block_addr)
+        if line is not None and line.state is LineState.VALID:
+            self.tags.touch(line)
+
+    def pending_count(self) -> int:
+        return len(self._pending)

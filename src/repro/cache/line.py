@@ -1,0 +1,96 @@
+"""Cache line (TDA entry) model.
+
+A DLP TDA entry (paper Fig. 8) extends the baseline tag entry with a 7-bit
+instruction ID and a 4-bit Protected Life counter.  The fields exist on
+every line; non-DLP policies simply never touch them, so one line class
+serves every scheme and the hardware-overhead model in
+:mod:`repro.core.overhead` can cost the extension bits separately.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class LineState(enum.Enum):
+    """Lifecycle of a line under allocate-on-miss.
+
+    INVALID  -> RESERVED  (miss allocates the line, fill pending)
+    RESERVED -> VALID     (fill returns from the interconnect)
+    VALID    -> INVALID   (write-evict or explicit invalidate)
+    VALID    -> RESERVED  (replacement: victim evicted, line re-reserved)
+    """
+
+    INVALID = 0
+    RESERVED = 1
+    VALID = 2
+
+
+@dataclass
+class CacheLine:
+    """One way of one set.
+
+    ``lru_stamp`` is the access timestamp used for LRU victim selection.
+    ``insn_id`` and ``protected_life`` are the DLP extension fields
+    (Section 4.1.1); ``protected_life`` saturates at ``pl_max``
+    (``2**4 - 1`` for the paper's 4-bit field).
+    """
+
+    way: int
+    state: LineState = LineState.INVALID
+    tag: int = -1
+    block_addr: int = -1
+    lru_stamp: int = 0
+    # --- DLP extension fields -------------------------------------------
+    insn_id: int = 0
+    protected_life: int = 0
+    # bookkeeping (not hardware): which insn allocated the pending fill
+    pending_insn_id: int = field(default=0, repr=False)
+
+    @property
+    def is_valid(self) -> bool:
+        return self.state is LineState.VALID
+
+    @property
+    def is_reserved(self) -> bool:
+        return self.state is LineState.RESERVED
+
+    @property
+    def is_invalid(self) -> bool:
+        return self.state is LineState.INVALID
+
+    @property
+    def is_protected(self) -> bool:
+        """A line with positive Protected Life may not be replaced."""
+        return self.protected_life > 0
+
+    def decay_protection(self) -> None:
+        """Decrement PL by one, flooring at zero (per-set-query decay)."""
+        if self.protected_life > 0:
+            self.protected_life -= 1
+
+    def grant_protection(self, pd: int, pl_max: int) -> None:
+        """Write a Protection Distance into the PL field (clamped)."""
+        self.protected_life = min(max(pd, 0), pl_max)
+
+    def reserve(self, tag: int, block_addr: int, insn_id: int, now: int) -> None:
+        self.state = LineState.RESERVED
+        self.tag = tag
+        self.block_addr = block_addr
+        self.pending_insn_id = insn_id
+        self.lru_stamp = now
+
+    def fill(self, now: int) -> None:
+        if self.state is not LineState.RESERVED:
+            raise RuntimeError(f"fill on non-reserved line (state={self.state})")
+        self.state = LineState.VALID
+        self.insn_id = self.pending_insn_id
+        self.lru_stamp = now
+
+    def invalidate(self) -> None:
+        self.state = LineState.INVALID
+        self.tag = -1
+        self.block_addr = -1
+        self.protected_life = 0
+        self.insn_id = 0

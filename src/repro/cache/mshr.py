@@ -1,0 +1,128 @@
+"""Miss Status Holding Registers and the outgoing miss queue.
+
+Section 2 of the paper: a missing request first checks the MSHR table.  A
+match appends the request's source information to the existing entry
+(a *merge*); a new line needs a free MSHR entry.  When either the table or
+the per-entry merge list is full, the request blocks the memory pipeline.
+The bounded miss queue models the buffer between the L1D and the
+interconnect injection port; a full queue is the third stall reason the
+Stall-Bypass comparator (Section 5.3) reacts to.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional
+
+
+@dataclass
+class MshrEntry:
+    """One in-flight miss: the target line plus merged waiters."""
+
+    block_addr: int
+    first_insn_id: int
+    issued_at: int
+    # Opaque per-request payloads (the timing simulator stores completion
+    # callbacks / warp references here; the functional path stores None).
+    waiters: List[Any] = field(default_factory=list)
+    is_bypass: bool = False
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.waiters)
+
+
+class MshrTable:
+    """Fixed-size MSHR table with a per-entry merge limit."""
+
+    def __init__(self, num_entries: int = 32, max_merged: int = 8):
+        if num_entries < 1 or max_merged < 1:
+            raise ValueError("MSHR table needs at least one entry and one merge slot")
+        self.num_entries = num_entries
+        self.max_merged = max_merged
+        self._entries: Dict[int, MshrEntry] = {}
+        # statistics
+        self.peak_occupancy = 0
+        self.total_allocations = 0
+        self.total_merges = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.num_entries
+
+    def lookup(self, block_addr: int) -> Optional[MshrEntry]:
+        return self._entries.get(block_addr)
+
+    def can_merge(self, block_addr: int) -> bool:
+        entry = self._entries.get(block_addr)
+        return entry is not None and entry.num_requests < self.max_merged
+
+    def merge(self, block_addr: int, waiter: Any) -> MshrEntry:
+        entry = self._entries[block_addr]
+        if entry.num_requests >= self.max_merged:
+            raise RuntimeError(f"merge overflow on block {block_addr:#x}")
+        entry.waiters.append(waiter)
+        self.total_merges += 1
+        return entry
+
+    def allocate(
+        self, block_addr: int, insn_id: int, now: int, waiter: Any
+    ) -> MshrEntry:
+        if self.is_full:
+            raise RuntimeError("MSHR allocation while table full")
+        if block_addr in self._entries:
+            raise RuntimeError(f"duplicate MSHR allocation for {block_addr:#x}")
+        entry = MshrEntry(block_addr, insn_id, now, [waiter])
+        self._entries[block_addr] = entry
+        self.total_allocations += 1
+        if len(self._entries) > self.peak_occupancy:
+            self.peak_occupancy = len(self._entries)
+        return entry
+
+    def release(self, block_addr: int) -> MshrEntry:
+        """Retire an entry when its fill arrives; returns it with waiters."""
+        entry = self._entries.pop(block_addr, None)
+        if entry is None:
+            raise KeyError(f"fill for block {block_addr:#x} with no MSHR entry")
+        return entry
+
+    def outstanding_blocks(self) -> List[int]:
+        return list(self._entries)
+
+
+class MissQueue:
+    """Bounded FIFO of requests awaiting injection into the interconnect."""
+
+    def __init__(self, depth: int = 8):
+        if depth < 1:
+            raise ValueError("miss queue needs at least one slot")
+        self.depth = depth
+        self._queue: Deque[Any] = deque()
+        self.total_enqueued = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._queue) >= self.depth
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._queue
+
+    def push(self, item: Any) -> None:
+        if self.is_full:
+            raise RuntimeError("push to full miss queue")
+        self._queue.append(item)
+        self.total_enqueued += 1
+
+    def pop(self) -> Any:
+        return self._queue.popleft()
+
+    def peek(self) -> Any:
+        return self._queue[0]

@@ -1,0 +1,48 @@
+"""Victim-selection helpers shared by the policies.
+
+The paper keeps LRU ordering everywhere; protection only *filters* the
+candidate list (a line with positive Protected Life, or a reserved line,
+cannot be replaced — Section 4.1.1).  Keeping the selectors here lets the
+baseline, Global-Protection and DLP policies share one tested code path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.line import CacheLine, LineState
+from repro.cache.tagarray import CacheSet
+
+
+def lru_victim(cache_set: CacheSet) -> Optional[CacheLine]:
+    """Baseline choice: an invalid way if any, else the LRU valid line.
+
+    Returns ``None`` when every way is reserved (the Section 2
+    no-reservable-slot stall).
+    """
+    invalid = cache_set.find_invalid()
+    if invalid is not None:
+        return invalid
+    best: Optional[CacheLine] = None
+    for line in cache_set.lines:
+        if line.state is LineState.VALID:
+            if best is None or line.lru_stamp < best.lru_stamp:
+                best = line
+    return best
+
+
+def protected_lru_victim(cache_set: CacheSet) -> Optional[CacheLine]:
+    """Protection-aware choice: LRU among valid *unprotected* lines.
+
+    Returns ``None`` when every way is reserved or protected — the
+    condition under which DLP / Global-Protection bypass the request.
+    """
+    invalid = cache_set.find_invalid()
+    if invalid is not None:
+        return invalid
+    best: Optional[CacheLine] = None
+    for line in cache_set.lines:
+        if line.state is LineState.VALID and not line.is_protected:
+            if best is None or line.lru_stamp < best.lru_stamp:
+                best = line
+    return best

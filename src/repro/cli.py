@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+run        simulate one application under one scheme and print a summary
+compare    all five schemes on one application (a Figs. 10-13 column)
+figure     regenerate one paper table/figure by name (fig2..fig13, table1,
+           table2, overhead)
+profile    reuse-distance analysis of one application (Fig. 3/7 style)
+list       the Table 2 application registry
+
+Examples
+--------
+::
+
+    python -m repro run SS --policy dlp
+    python -m repro compare KM --sms 4
+    python -m repro figure fig3
+    python -m repro profile BFS
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import RD_LABELS, ascii_table, stacked_percent_rows
+from repro.experiments.figures import (
+    RENDERERS,
+    fig10_data,
+    fig11a_data,
+    fig11b_data,
+    fig12a_data,
+    fig12b_data,
+    fig13_data,
+    render_policy_figure,
+)
+from repro.experiments.runner import (
+    FIG10_SCHEMES,
+    SCHEME_LABELS,
+    harness_config,
+    run_workload,
+)
+from repro.workloads import ALL_APPS, make_workload, table2_rows
+
+_TIMING_FIGURES = {
+    "fig10": (fig10_data, "Fig. 10: normalized IPC"),
+    "fig11a": (fig11a_data, "Fig. 11a: normalized L1D traffic"),
+    "fig11b": (fig11b_data, "Fig. 11b: normalized L1D evictions"),
+    "fig12a": (fig12a_data, "Fig. 12a: L1D hit rate"),
+    "fig12b": (fig12b_data, "Fig. 12b: normalized L1D hits"),
+    "fig13": (fig13_data, "Fig. 13: normalized interconnect traffic"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DLP (ICPP 2018) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate one application")
+    p_run.add_argument("app", help="Table 2 abbreviation (e.g. BFS)")
+    p_run.add_argument("--policy", default="baseline",
+                       choices=["baseline", "stall_bypass",
+                                "global_protection", "dlp", "32kb", "64kb"])
+    p_run.add_argument("--sms", type=int, default=4,
+                       help="number of SMs (scaled machine; default 4)")
+    p_run.add_argument("--scale", type=float, default=1.0,
+                       help="workload input scale factor")
+
+    p_cmp = sub.add_parser("compare", help="all five schemes on one app")
+    p_cmp.add_argument("app")
+    p_cmp.add_argument("--sms", type=int, default=4)
+    p_cmp.add_argument("--scale", type=float, default=1.0)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper table/figure")
+    p_fig.add_argument("name",
+                       choices=sorted(set(RENDERERS) | set(_TIMING_FIGURES)))
+    p_fig.add_argument("--sms", type=int, default=4)
+
+    p_prof = sub.add_parser("profile", help="reuse-distance analysis")
+    p_prof.add_argument("app")
+    p_prof.add_argument("--sms", type=int, default=4)
+
+    sub.add_parser("list", help="list the Table 2 applications")
+    return parser
+
+
+def cmd_run(args) -> int:
+    config = harness_config(args.sms)
+    result = run_workload(args.app.upper(), args.policy, config, scale=args.scale)
+    rows = [(k, f"{v:.4g}") for k, v in result.summary().items()]
+    print(ascii_table(
+        ["metric", "value"], rows,
+        title=f"{args.app.upper()} under {SCHEME_LABELS.get(args.policy, args.policy)}",
+    ))
+    if result.policy:
+        print("\npolicy internals:", result.policy)
+    return 0
+
+
+def cmd_compare(args) -> int:
+    config = harness_config(args.sms)
+    app = args.app.upper()
+    results = {
+        scheme: run_workload(app, scheme, config, scale=args.scale)
+        for scheme in FIG10_SCHEMES
+    }
+    base = results["baseline"]
+    rows = []
+    for scheme in FIG10_SCHEMES:
+        r = results[scheme]
+        rows.append((
+            SCHEME_LABELS[scheme],
+            f"{r.ipc / base.ipc:.3f}",
+            f"{r.l1d.hit_rate:.3f}",
+            str(r.l1d.bypasses),
+            f"{r.l1d.evictions_total / max(base.l1d.evictions_total, 1):.3f}",
+        ))
+    print(ascii_table(
+        ["Scheme", "IPC (norm)", "Hit rate", "Bypasses", "Evictions (norm)"],
+        rows,
+        title=f"{app}: scheme comparison",
+    ))
+    return 0
+
+
+def cmd_figure(args) -> int:
+    if args.name in RENDERERS:
+        print(RENDERERS[args.name]())
+        return 0
+    data_fn, title = _TIMING_FIGURES[args.name]
+    print(render_policy_figure(data_fn(num_sms=args.sms), title))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.experiments.cachesim import profile_reuse
+
+    app = args.app.upper()
+    config = harness_config(args.sms)
+    profiler = profile_reuse(make_workload(app), config)
+    print(stacked_percent_rows(
+        [app], [profiler.overall_fractions()], RD_LABELS,
+        title=f"{app}: reuse-distance distribution",
+    ))
+    per_pc = sorted(profiler.pc_fractions().items())
+    print()
+    print(stacked_percent_rows(
+        [f"pc={pc:#x}" for pc, _ in per_pc],
+        [fracs for _, fracs in per_pc],
+        RD_LABELS,
+        title="per-instruction RDDs",
+    ))
+    return 0
+
+
+def cmd_list(_args) -> int:
+    print(ascii_table(
+        ["Application", "Abbr.", "Suite", "Type", "Paper input", "Scaled input"],
+        table2_rows(),
+        title="Table 2 applications",
+    ))
+    return 0
+
+
+_COMMANDS = {
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "figure": cmd_figure,
+    "profile": cmd_profile,
+    "list": cmd_list,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # output truncated by a shell pipe (| head)
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

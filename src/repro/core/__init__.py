@@ -1,0 +1,69 @@
+"""The paper's contribution: Dynamic Line Protection and its comparators.
+
+Public surface:
+
+* :class:`DlpPolicy` — per-instruction protection distances + bypass;
+* :class:`GlobalProtectionPolicy` — single-PD PDP emulation;
+* :class:`StallBypassPolicy` — bypass-on-any-stall comparator;
+* :class:`BaselinePolicy` — plain LRU;
+* :func:`make_policy` — name-based factory used by the experiment runner;
+* the building blocks (:class:`VictimTagArray`, :class:`PredictionTable`,
+  :class:`SampleWindow`, the Figure 9 maths, the overhead model).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.baseline import BaselinePolicy
+from repro.core.dlp import DlpPolicy
+from repro.core.global_protection import GlobalProtectionPolicy
+from repro.core.overhead import OverheadReport, compute_overhead
+from repro.core.pdpt import PredictionTable
+from repro.core.policy import CachePolicy, StallReason
+from repro.core.protection import pd_increment, run_global_pd_update, run_pd_update
+from repro.core.sampler import SampleWindow
+from repro.core.stall_bypass import StallBypassPolicy
+from repro.core.vta import VictimTagArray
+
+POLICIES: Dict[str, Callable[..., CachePolicy]] = {
+    "baseline": BaselinePolicy,
+    "stall_bypass": StallBypassPolicy,
+    "global_protection": GlobalProtectionPolicy,
+    "dlp": DlpPolicy,
+}
+
+
+def make_policy(name: str, **kwargs) -> CachePolicy:
+    """Instantiate a policy by its registry name.
+
+    ``kwargs`` forward to the policy constructor (sampling period, VTA
+    associativity, ... for the protection schemes).
+    """
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; expected one of {sorted(POLICIES)}"
+        ) from None
+    return factory(**kwargs)
+
+
+__all__ = [
+    "BaselinePolicy",
+    "StallBypassPolicy",
+    "GlobalProtectionPolicy",
+    "DlpPolicy",
+    "CachePolicy",
+    "StallReason",
+    "VictimTagArray",
+    "PredictionTable",
+    "SampleWindow",
+    "pd_increment",
+    "run_pd_update",
+    "run_global_pd_update",
+    "compute_overhead",
+    "OverheadReport",
+    "POLICIES",
+    "make_policy",
+]

@@ -1,0 +1,21 @@
+"""Baseline L1D policy: LRU replacement, stall on resource exhaustion.
+
+This is the 16 KB baseline configuration of Table 1 — the scheme every
+figure normalizes against.  It inherits the protocol behaviour of
+:class:`repro.core.policy.CachePolicy` and only pins down the victim
+selector so tests exercise the shared helper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.replacement import lru_victim
+from repro.core.policy import CachePolicy
+
+
+class BaselinePolicy(CachePolicy):
+    name = "baseline"
+
+    def select_victim(self, cache_set, access) -> Optional[object]:
+        return lru_victim(cache_set)

@@ -1,0 +1,153 @@
+"""Dynamic Line Protection — the paper's contribution (Section 4).
+
+The policy composes the three structures of Figure 8:
+
+* the TDA extension fields on every line (instruction ID + Protected
+  Life), maintained on hits, allocations and set queries;
+* the Victim Tag Array, fed by evictions and probed on misses;
+* the Protection Distance Prediction Table, which accumulates per-
+  instruction TDA/VTA hits and is recomputed by the Figure 9 flow at the
+  end of every sampling period.
+
+Protocol behaviour:
+
+* every set query decrements the PL of all lines in the set (bypassed
+  requests too, so protected sets drain and are eventually released);
+* a hit credits the PDPT's TDA-hit counter of the *previous* instruction
+  recorded on the line, then re-tags the line with the accessing
+  instruction and rewrites its PL from that instruction's current PD;
+* a miss probes the VTA and credits a hit to the instruction stored in
+  the victim entry;
+* victim selection is LRU over valid, unprotected lines; when none
+  exists, the request is bypassed rather than stalled.
+
+Constructor knobs exist for the ablation benches (sampling period, VTA
+associativity, PL width, bypass on/off); defaults are the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cache.replacement import protected_lru_victim
+from repro.core.pdpt import PD_BITS, PredictionTable
+from repro.core.policy import CachePolicy
+from repro.core.protection import run_pd_update
+from repro.core.sampler import SampleWindow
+from repro.core.vta import VictimTagArray
+
+
+class DlpPolicy(CachePolicy):
+    name = "dlp"
+
+    def __init__(
+        self,
+        sample_limit: int = 200,
+        insn_sample_limit: int = 100_000,
+        vta_assoc: Optional[int] = None,
+        pd_bits: int = PD_BITS,
+        nasc: Optional[int] = None,
+        bypass_enabled: bool = True,
+    ):
+        super().__init__()
+        self._vta_assoc = vta_assoc
+        self._nasc_override = nasc
+        self.pd_bits = pd_bits
+        self.bypass_enabled = bypass_enabled
+        self.pdpt = PredictionTable(pd_bits=pd_bits)
+        self.sampler = SampleWindow(sample_limit, insn_sample_limit)
+        self.vta: Optional[VictimTagArray] = None
+        self.nasc = 0
+        self.pl_max = (1 << pd_bits) - 1
+        # policy-level statistics
+        self.protected_bypasses = 0
+        self.pd_updates = {"increase": 0, "decrease": 0, "hold": 0}
+
+    # -- lifecycle -------------------------------------------------------
+
+    def attach(self, cache) -> None:
+        super().attach(cache)
+        self.vta = VictimTagArray(cache.geometry, self._vta_assoc)
+        # Nasc is the VTA associativity (Section 4.2, footnote 2: set to
+        # the cache associativity in the paper's configuration).
+        self.nasc = self._nasc_override if self._nasc_override else self.vta.assoc
+
+    def reset(self) -> None:
+        self.pdpt = PredictionTable(pd_bits=self.pd_bits)
+        self.sampler.reset()
+        if self.vta is not None:
+            self.vta.reset()
+
+    # -- protocol hooks ---------------------------------------------------
+
+    def on_set_query(self, cache_set, access) -> None:
+        for line in cache_set.lines:
+            if line.protected_life > 0:
+                line.protected_life -= 1
+
+    def on_hit(self, line, access, reserved: bool) -> None:
+        if access.is_write:
+            return
+        if reserved:
+            # Pending hit: reuse was captured by the in-flight line.
+            # Attribute it to the instruction that allocated / last
+            # touched the pending line, then hand the line over.
+            self.pdpt.record_tda_hit(line.pending_insn_id)
+            line.pending_insn_id = access.insn_id
+            return
+        self.pdpt.record_tda_hit(line.insn_id)
+        line.insn_id = access.insn_id
+        line.grant_protection(self.pdpt.pd(access.insn_id), self.pl_max)
+
+    def on_miss(self, access) -> None:
+        if access.is_write:
+            return
+        owner = self.vta.probe(access.block_addr)
+        if owner is not None:
+            self.pdpt.record_vta_hit(owner)
+
+    def select_victim(self, cache_set, access):
+        return protected_lru_victim(cache_set)
+
+    def bypass_on_no_victim(self, access) -> bool:
+        if self.bypass_enabled:
+            self.protected_bypasses += 1
+            return True
+        return False
+
+    def on_allocate(self, line, access) -> None:
+        line.grant_protection(self.pdpt.pd(access.insn_id), self.pl_max)
+
+    def on_evict(self, line) -> None:
+        self.vta.insert(line.block_addr, line.insn_id)
+
+    def on_access_done(self, access, outcome) -> None:
+        if self.sampler.tick_access():
+            self._end_sample()
+
+    def notify_instructions(self, count: int) -> None:
+        if self.sampler.tick_instructions(count):
+            self._end_sample()
+
+    # -- internals ---------------------------------------------------------
+
+    def _end_sample(self) -> None:
+        result = run_pd_update(self.pdpt, self.nasc)
+        self.pd_updates[result.path] += 1
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        out: Dict[str, float] = {
+            "protected_bypasses": self.protected_bypasses,
+            "samples_completed": self.sampler.samples_completed,
+            "vta_hits": self.vta.hits if self.vta else 0,
+            "vta_inserts": self.vta.inserts if self.vta else 0,
+        }
+        for path, count in self.pd_updates.items():
+            out[f"pd_{path}"] = count
+        return out
+
+    def pd_snapshot(self) -> Dict[int, Dict[str, int]]:
+        """Current per-instruction PDPT contents (for reports/examples)."""
+        return self.pdpt.snapshot()

@@ -1,0 +1,125 @@
+"""Global-Protection comparator (paper Section 5.3).
+
+An emulation of PDP [Duong et al., MICRO'12] on the GPU L1D: the same
+VTA, the same sampling window and the same Figure 9 decision structure as
+DLP, but with a *single* Protection Distance applied to every line —
+"instead of an instruction-based PD like the left-most path in Figure 9,
+this scheme computes a global PD for all cache entries."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cache.replacement import protected_lru_victim
+from repro.core.pdpt import PD_BITS
+from repro.core.policy import CachePolicy
+from repro.core.protection import run_global_pd_update
+from repro.core.sampler import SampleWindow
+from repro.core.vta import VictimTagArray
+
+
+class GlobalProtectionPolicy(CachePolicy):
+    name = "global_protection"
+
+    def __init__(
+        self,
+        sample_limit: int = 200,
+        insn_sample_limit: int = 100_000,
+        vta_assoc: Optional[int] = None,
+        pd_bits: int = PD_BITS,
+        nasc: Optional[int] = None,
+        bypass_enabled: bool = True,
+    ):
+        super().__init__()
+        self._vta_assoc = vta_assoc
+        self._nasc_override = nasc
+        self.bypass_enabled = bypass_enabled
+        self.pl_max = (1 << pd_bits) - 1
+        self.sampler = SampleWindow(sample_limit, insn_sample_limit)
+        self.vta: Optional[VictimTagArray] = None
+        self.nasc = 0
+        self.global_pd = 0
+        self.global_tda_hits = 0
+        self.global_vta_hits = 0
+        self.protected_bypasses = 0
+        self.pd_updates = {"increase": 0, "decrease": 0, "hold": 0}
+
+    def attach(self, cache) -> None:
+        super().attach(cache)
+        self.vta = VictimTagArray(cache.geometry, self._vta_assoc)
+        self.nasc = self._nasc_override if self._nasc_override else self.vta.assoc
+
+    def reset(self) -> None:
+        self.sampler.reset()
+        self.global_pd = 0
+        self.global_tda_hits = 0
+        self.global_vta_hits = 0
+        if self.vta is not None:
+            self.vta.reset()
+
+    # -- protocol hooks ---------------------------------------------------
+
+    def on_set_query(self, cache_set, access) -> None:
+        for line in cache_set.lines:
+            if line.protected_life > 0:
+                line.protected_life -= 1
+
+    def on_hit(self, line, access, reserved: bool) -> None:
+        if access.is_write:
+            return
+        self.global_tda_hits += 1
+        if not reserved:
+            line.grant_protection(self.global_pd, self.pl_max)
+
+    def on_miss(self, access) -> None:
+        if access.is_write:
+            return
+        if self.vta.probe(access.block_addr) is not None:
+            self.global_vta_hits += 1
+
+    def select_victim(self, cache_set, access):
+        return protected_lru_victim(cache_set)
+
+    def bypass_on_no_victim(self, access) -> bool:
+        if self.bypass_enabled:
+            self.protected_bypasses += 1
+            return True
+        return False
+
+    def on_allocate(self, line, access) -> None:
+        line.grant_protection(self.global_pd, self.pl_max)
+
+    def on_evict(self, line) -> None:
+        self.vta.insert(line.block_addr, line.insn_id)
+
+    def on_access_done(self, access, outcome) -> None:
+        if self.sampler.tick_access():
+            self._end_sample()
+
+    def notify_instructions(self, count: int) -> None:
+        if self.sampler.tick_instructions(count):
+            self._end_sample()
+
+    def _end_sample(self) -> None:
+        self.global_pd, path = run_global_pd_update(
+            self.global_pd,
+            self.pl_max,
+            self.nasc,
+            self.global_tda_hits,
+            self.global_vta_hits,
+        )
+        self.pd_updates[path] += 1
+        self.global_tda_hits = 0
+        self.global_vta_hits = 0
+
+    def stats(self) -> Dict[str, float]:
+        out: Dict[str, float] = {
+            "protected_bypasses": self.protected_bypasses,
+            "samples_completed": self.sampler.samples_completed,
+            "global_pd": self.global_pd,
+            "vta_hits": self.vta.hits if self.vta else 0,
+        }
+        for path, count in self.pd_updates.items():
+            out[f"pd_{path}"] = count
+        return out

@@ -1,0 +1,119 @@
+"""Protection Distance Prediction Table (paper Section 4.1.3).
+
+128 entries, directly indexed by the 7-bit hashed instruction ID.  Each
+entry holds a saturating 8-bit TDA-hit counter, a 10-bit VTA-hit counter
+and the 4-bit Protection Distance computed for the next sampling period.
+Hit counters are cleared at the end of every sample; PDs persist and are
+adjusted incrementally by the Figure 9 flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+PDPT_ENTRIES = 128
+INSN_ID_BITS = 7
+TDA_HIT_BITS = 8
+VTA_HIT_BITS = 10
+PD_BITS = 4
+
+
+@dataclass
+class PdptEntry:
+    """One per-instruction record.  Plain ints with explicit saturation —
+    kept branch-light because this sits on the cache hot path."""
+
+    insn_id: int
+    tda_hits: int = 0
+    vta_hits: int = 0
+    pd: int = 0
+    # not hardware: lifetime activity marker so reports can skip idle rows
+    ever_used: bool = False
+
+
+class PredictionTable:
+    """The PDPT plus the global (program-level) hit accumulators."""
+
+    def __init__(
+        self,
+        num_entries: int = PDPT_ENTRIES,
+        tda_hit_bits: int = TDA_HIT_BITS,
+        vta_hit_bits: int = VTA_HIT_BITS,
+        pd_bits: int = PD_BITS,
+    ):
+        if num_entries < 1:
+            raise ValueError("PDPT needs at least one entry")
+        self.num_entries = num_entries
+        self.tda_hit_max = (1 << tda_hit_bits) - 1
+        self.vta_hit_max = (1 << vta_hit_bits) - 1
+        self.pd_max = (1 << pd_bits) - 1
+        self.entries: List[PdptEntry] = [PdptEntry(i) for i in range(num_entries)]
+        # Program-level accumulators for the global check of Fig. 9.  Kept
+        # separately from the per-entry counters so per-entry saturation
+        # does not distort the global comparison.
+        self.global_tda_hits = 0
+        self.global_vta_hits = 0
+
+    def _entry(self, insn_id: int) -> PdptEntry:
+        # Hardware indexes with the low 7 bits; IDs are already folded to
+        # that width by repro.utils.hashing.hash_pc, but defend anyway.
+        return self.entries[insn_id % self.num_entries]
+
+    # -- hit accounting ---------------------------------------------------
+
+    def record_tda_hit(self, insn_id: int) -> None:
+        entry = self._entry(insn_id)
+        if entry.tda_hits < self.tda_hit_max:
+            entry.tda_hits += 1
+        entry.ever_used = True
+        self.global_tda_hits += 1
+
+    def record_vta_hit(self, insn_id: int) -> None:
+        entry = self._entry(insn_id)
+        if entry.vta_hits < self.vta_hit_max:
+            entry.vta_hits += 1
+        entry.ever_used = True
+        self.global_vta_hits += 1
+
+    # -- PD access ----------------------------------------------------------
+
+    def pd(self, insn_id: int) -> int:
+        return self._entry(insn_id).pd
+
+    def set_pd(self, insn_id: int, value: int) -> None:
+        entry = self._entry(insn_id)
+        entry.pd = min(max(value, 0), self.pd_max)
+
+    def adjust_pd(self, insn_id: int, delta: int) -> int:
+        entry = self._entry(insn_id)
+        entry.pd = min(max(entry.pd + delta, 0), self.pd_max)
+        return entry.pd
+
+    def decrease_all(self, delta: int) -> None:
+        for entry in self.entries:
+            if entry.pd:
+                entry.pd = max(entry.pd - delta, 0)
+
+    # -- sampling ----------------------------------------------------------
+
+    def clear_hits(self) -> None:
+        """End-of-sample reset: hit counters to zero, PDs preserved."""
+        for entry in self.entries:
+            entry.tda_hits = 0
+            entry.vta_hits = 0
+        self.global_tda_hits = 0
+        self.global_vta_hits = 0
+
+    def active_entries(self) -> Iterator[PdptEntry]:
+        """Entries that saw any hit this sample (PD-increase path scope)."""
+        for entry in self.entries:
+            if entry.tda_hits or entry.vta_hits:
+                yield entry
+
+    def snapshot(self) -> Dict[int, Dict[str, int]]:
+        return {
+            e.insn_id: {"tda_hits": e.tda_hits, "vta_hits": e.vta_hits, "pd": e.pd}
+            for e in self.entries
+            if e.ever_used
+        }

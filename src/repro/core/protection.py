@@ -1,0 +1,105 @@
+"""Protection Distance computation — the Figure 9 flow.
+
+Two pieces:
+
+* :func:`pd_increment` — the shift-based *step comparison* the paper uses
+  instead of a divider: compare ``HitVTA`` against 4x, 2x, 1x and 1/2x
+  ``HitTDA`` and shift ``Nasc`` accordingly, with the 4x case doubling as
+  the over-protection cap.
+* :func:`run_pd_update` — the whole sample-end flow: the global
+  VTA-vs-TDA check chooses between the per-instruction increase path and
+  the global decrease path (or neither), then hit counters are cleared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.pdpt import PredictionTable
+
+
+def pd_increment(nasc: int, hit_vta: int, hit_tda: int) -> int:
+    """Per-instruction PD increase: ``Nasc * step(HitVTA / HitTDA)``.
+
+    Step comparison (Section 4.2): sequentially compare ``HitVTA`` with
+    ``4*HitTDA``, ``2*HitTDA``, ``HitTDA`` and ``HitTDA/2``, shifting
+    ``Nasc`` by the outcome.  The top rung caps the increment at
+    ``4 * Nasc`` to prevent over-protection.
+
+    An instruction with VTA hits but zero TDA hits takes the top rung:
+    every observed reuse of its lines happened *after* eviction, which is
+    exactly the thrashing case the scheme exists to fix.
+    """
+    if nasc < 0:
+        raise ValueError(f"Nasc must be non-negative, got {nasc}")
+    if hit_vta <= 0:
+        return 0
+    if hit_tda <= 0 or hit_vta >= 4 * hit_tda:
+        return 4 * nasc
+    if hit_vta >= 2 * hit_tda:
+        return 2 * nasc
+    if hit_vta >= hit_tda:
+        return nasc
+    if 2 * hit_vta >= hit_tda:  # HitVTA >= HitTDA / 2 without dividing
+        return nasc >> 1
+    return 0
+
+
+@dataclass
+class PdUpdateResult:
+    """What a sample-end update did (for tests and traces)."""
+
+    path: str  # "increase", "decrease" or "hold"
+    global_tda_hits: int
+    global_vta_hits: int
+    adjustments: Dict[int, int]  # insn_id -> PD delta applied
+
+
+def run_pd_update(table: PredictionTable, nasc: int) -> PdUpdateResult:
+    """Apply the Figure 9 flow to a PDPT at the end of a sample.
+
+    * global VTA hits > global TDA hits  -> per-PC increase path;
+    * global VTA hits < 1/2 global TDA hits -> all PDs decrease by Nasc;
+    * otherwise -> hold (protection level is about right).
+
+    Hit counters are cleared afterwards in every case.
+    """
+    g_tda = table.global_tda_hits
+    g_vta = table.global_vta_hits
+    adjustments: Dict[int, int] = {}
+
+    if g_vta > g_tda:
+        path = "increase"
+        for entry in table.active_entries():
+            delta = pd_increment(nasc, entry.vta_hits, entry.tda_hits)
+            if delta:
+                before = entry.pd
+                table.adjust_pd(entry.insn_id, delta)
+                adjustments[entry.insn_id] = entry.pd - before
+    elif 2 * g_vta < g_tda:
+        path = "decrease"
+        for entry in table.entries:
+            if entry.pd:
+                before = entry.pd
+                entry.pd = max(entry.pd - nasc, 0)
+                adjustments[entry.insn_id] = entry.pd - before
+    else:
+        path = "hold"
+
+    table.clear_hits()
+    return PdUpdateResult(path, g_tda, g_vta, adjustments)
+
+
+def run_global_pd_update(
+    global_pd: int, pd_max: int, nasc: int, g_tda: int, g_vta: int
+) -> tuple:
+    """The Global-Protection variant (Section 5.3): one PD for the whole
+    cache, adjusted from the program-level hit counts with the same step
+    comparison and the same decrease rule.  Returns ``(new_pd, path)``."""
+    if g_vta > g_tda:
+        delta = pd_increment(nasc, g_vta, g_tda)
+        return min(global_pd + delta, pd_max), "increase"
+    if 2 * g_vta < g_tda:
+        return max(global_pd - nasc, 0), "decrease"
+    return global_pd, "hold"

@@ -1,0 +1,58 @@
+"""Sampling window (paper Section 4.1.4).
+
+The sample counter counts L1D accesses; the PD update runs every
+``access_limit`` accesses (the paper picks 200 empirically).  For Cache
+Sufficient applications with few loads a window could last very long, so
+a secondary cap on *executed instructions* closes the window early —
+the paper notes the impact on CS applications is trivial either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SampleWindow:
+    """Tracks progress through one sampling period."""
+
+    access_limit: int = 200
+    insn_limit: int = 100_000
+    accesses: int = 0
+    instructions: int = 0
+    samples_completed: int = 0
+    closed_by: dict = field(default_factory=lambda: {"accesses": 0, "instructions": 0})
+
+    def __post_init__(self) -> None:
+        if self.access_limit < 1:
+            raise ValueError("sample access limit must be positive")
+        if self.insn_limit < 1:
+            raise ValueError("sample instruction limit must be positive")
+
+    def tick_access(self) -> bool:
+        """Count one cache access; True when the sample just completed."""
+        self.accesses += 1
+        if self.accesses >= self.access_limit:
+            self._close("accesses")
+            return True
+        return False
+
+    def tick_instructions(self, count: int) -> bool:
+        """Count executed thread instructions; True when the cap closed
+        the window (only meaningful if at least one access was seen —
+        an empty window has nothing to recompute PDs from)."""
+        self.instructions += count
+        if self.instructions >= self.insn_limit and self.accesses > 0:
+            self._close("instructions")
+            return True
+        return False
+
+    def _close(self, reason: str) -> None:
+        self.samples_completed += 1
+        self.closed_by[reason] += 1
+        self.accesses = 0
+        self.instructions = 0
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.instructions = 0

@@ -1,0 +1,38 @@
+"""Stall-Bypass comparator (paper Section 5.3).
+
+"This scheme enables a bypass path when a stall is detected in the L1D
+cache for any reason, such as no available MSHR entry, no reservable slot
+in set, or a fully occupied miss queue."  It never protects lines and
+never consults reuse information — which is exactly why it over-bypasses
+on applications like SRAD and BT (Section 6.1.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.replacement import lru_victim
+from repro.core.policy import CachePolicy, StallReason
+
+
+class StallBypassPolicy(CachePolicy):
+    name = "stall_bypass"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.bypassed_by_reason = {reason.value: 0 for reason in StallReason}
+
+    def select_victim(self, cache_set, access) -> Optional[object]:
+        return lru_victim(cache_set)
+
+    def bypass_on_no_victim(self, access) -> bool:
+        # "no reservable slot in set" is one of the stall reasons
+        self.bypassed_by_reason[StallReason.NO_RESERVABLE_LINE.value] += 1
+        return True
+
+    def bypass_on_stall(self, reason: StallReason, access) -> bool:
+        self.bypassed_by_reason[reason.value] += 1
+        return True
+
+    def stats(self):
+        return {f"bypass_{k}": v for k, v in self.bypassed_by_reason.items()}

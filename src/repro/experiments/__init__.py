@@ -1,0 +1,30 @@
+"""Experiment layer: runners, the functional cache-simulation path and
+one driver per paper table/figure (see DESIGN.md's per-experiment index)."""
+
+from repro.experiments import figures
+from repro.experiments.cachesim import capacity_sweep, interleaved_streams, profile_reuse
+from repro.experiments.runner import (
+    FIG10_SCHEMES,
+    SCHEME_LABELS,
+    TRAFFIC_SCHEMES,
+    build_simulator,
+    harness_config,
+    run_cell,
+    run_sweep,
+    run_workload,
+)
+
+__all__ = [
+    "figures",
+    "run_workload",
+    "run_cell",
+    "run_sweep",
+    "build_simulator",
+    "harness_config",
+    "SCHEME_LABELS",
+    "FIG10_SCHEMES",
+    "TRAFFIC_SCHEMES",
+    "profile_reuse",
+    "capacity_sweep",
+    "interleaved_streams",
+]

@@ -1,0 +1,106 @@
+"""Experiment runner: (workload, policy, config) -> SimResult.
+
+This is the glue every figure driver uses.  Scheme names follow the
+paper's figure legends; ``SCHEME_LABELS`` maps internal policy names to
+them.  Results are memoised per process because several figures share
+the same runs (Fig. 10-13 all consume the baseline/SB/GP/DLP sweep).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Optional, Tuple
+
+from repro.core import make_policy
+from repro.gpu.config import GPUConfig
+from repro.gpu.simulator import GpuSimulator, SimResult
+from repro.workloads import make_workload
+
+#: Paper legend names for each scheme.
+SCHEME_LABELS: Dict[str, str] = {
+    "baseline": "16KB(Baseline)",
+    "stall_bypass": "Stall-Bypass",
+    "global_protection": "Global-Protection",
+    "dlp": "DLP",
+    "32kb": "32KB",
+    "64kb": "64KB",
+}
+
+#: Fig. 10's scheme set, in legend order.
+FIG10_SCHEMES = ("baseline", "stall_bypass", "global_protection", "dlp", "32kb")
+
+#: Fig. 11-13 compare the bypassing schemes on the 16 KB cache.
+TRAFFIC_SCHEMES = ("baseline", "stall_bypass", "global_protection", "dlp")
+
+
+def harness_config(num_sms: int = 4) -> GPUConfig:
+    """The scaled configuration the benchmark harness runs (see
+    EXPERIMENTS.md: per-SM machine identical to Table 1)."""
+    return GPUConfig().scaled(num_sms)
+
+
+def build_simulator(
+    abbr: str,
+    scheme: str = "baseline",
+    config: Optional[GPUConfig] = None,
+    scale: float = 1.0,
+    max_cycles: Optional[int] = None,
+    **policy_kwargs,
+) -> GpuSimulator:
+    """Construct (but do not run) a simulator for one experiment cell."""
+    config = config or harness_config()
+    if scheme in ("32kb", "64kb"):
+        config = config.with_l1d_size_kb(int(scheme[:-2]))
+        policy_name = "baseline"
+    else:
+        policy_name = scheme
+    workload = make_workload(abbr, scale)
+    return GpuSimulator(
+        workload.kernels(),
+        config,
+        policy_factory=lambda: make_policy(policy_name, **policy_kwargs),
+        max_cycles=max_cycles,
+    )
+
+
+def run_workload(
+    abbr: str,
+    policy: str = "baseline",
+    config: Optional[GPUConfig] = None,
+    scale: float = 1.0,
+    max_cycles: Optional[int] = None,
+    **policy_kwargs,
+) -> SimResult:
+    """Simulate one application under one scheme (uncached)."""
+    sim = build_simulator(abbr, policy, config, scale, max_cycles, **policy_kwargs)
+    return sim.run()
+
+
+@lru_cache(maxsize=None)
+def _cached_cell(abbr: str, scheme: str, num_sms: int) -> SimResult:
+    return run_workload(abbr, scheme, harness_config(num_sms))
+
+
+def run_cell(abbr: str, scheme: str, num_sms: int = 4) -> SimResult:
+    """Memoised harness run for one (app, scheme) cell.
+
+    Only harness-config runs are cached; custom configs go through
+    :func:`run_workload`.
+    """
+    return _cached_cell(abbr.upper(), scheme, num_sms)
+
+
+def run_sweep(
+    apps: Tuple[str, ...],
+    schemes: Tuple[str, ...],
+    num_sms: int = 4,
+) -> Dict[str, Dict[str, SimResult]]:
+    """Run (and cache) the full app x scheme matrix."""
+    return {
+        app: {scheme: run_cell(app, scheme, num_sms) for scheme in schemes}
+        for app in apps
+    }
+
+
+def clear_cache() -> None:
+    _cached_cell.cache_clear()

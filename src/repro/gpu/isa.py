@@ -1,0 +1,105 @@
+"""Warp-level instruction model.
+
+Workload traces are sequences of two op kinds:
+
+* :class:`ComputeOp` — a run of ``count`` back-to-back non-memory warp
+  instructions.  The SIMT front end issues them at one per cycle from the
+  owning scheduler (the GTO scheduler stays greedy on a ready warp), so a
+  run occupies the scheduler for ``count`` cycles and contributes
+  ``count * active_lanes`` thread instructions.  Batching runs keeps the
+  Python event loop off the (hot but uninteresting) ALU path — the
+  profile-first guidance of the HPC coding guides applied to a simulator.
+
+* :class:`MemOp` — one global-memory warp instruction at program counter
+  ``pc`` with the per-lane byte addresses.  The coalescer in
+  :mod:`repro.gpu.coalescer` folds the lanes into 128-byte line requests.
+
+A ``pc`` identifies a static memory instruction; DLP folds it to the
+7-bit instruction ID with :func:`repro.utils.hashing.hash_pc`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Union
+
+from repro.utils.hashing import hash_pc
+
+
+class ComputeOp:
+    """``count`` consecutive non-memory warp instructions."""
+
+    __slots__ = ("count",)
+
+    def __init__(self, count: int):
+        if count < 1:
+            raise ValueError(f"compute run must be positive, got {count}")
+        self.count = count
+
+    def __repr__(self) -> str:
+        return f"ComputeOp({self.count})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ComputeOp) and other.count == self.count
+
+
+class MemOp:
+    """One warp-level global load or store.
+
+    ``addrs`` holds per-lane byte addresses (up to warp_size of them;
+    fewer models a partially-active warp).  ``insn_id`` is precomputed at
+    construction so the cache hot path never re-hashes the PC.
+    """
+
+    __slots__ = ("is_write", "pc", "addrs", "insn_id", "active_lanes")
+
+    def __init__(self, is_write: bool, pc: int, addrs: Sequence[int]):
+        if len(addrs) == 0:
+            raise ValueError("memory op needs at least one active lane")
+        self.is_write = bool(is_write)
+        self.pc = pc
+        self.addrs = addrs
+        self.insn_id = hash_pc(pc)
+        self.active_lanes = len(addrs)
+
+    def __repr__(self) -> str:
+        kind = "ST" if self.is_write else "LD"
+        return f"MemOp({kind}, pc={self.pc:#x}, lanes={self.active_lanes})"
+
+
+WarpOp = Union[ComputeOp, MemOp]
+WarpTrace = Iterator[WarpOp]
+
+
+def load(pc: int, addrs: Sequence[int]) -> MemOp:
+    return MemOp(False, pc, addrs)
+
+
+def store(pc: int, addrs: Sequence[int]) -> MemOp:
+    return MemOp(True, pc, addrs)
+
+
+def compute(count: int) -> ComputeOp:
+    return ComputeOp(count)
+
+
+def trace_stats(ops: Iterable[WarpOp], warp_size: int = 32) -> dict:
+    """Static summary of a trace (used by tests and the classifier):
+    thread instructions, memory requests, distinct PCs."""
+    thread_insns = 0
+    mem_ops = 0
+    lanes = 0
+    pcs = set()
+    for op in ops:
+        if isinstance(op, ComputeOp):
+            thread_insns += op.count * warp_size
+        else:
+            thread_insns += op.active_lanes
+            mem_ops += 1
+            lanes += op.active_lanes
+            pcs.add(op.pc)
+    return {
+        "thread_instructions": thread_insns,
+        "mem_ops": mem_ops,
+        "mem_lanes": lanes,
+        "distinct_pcs": len(pcs),
+    }

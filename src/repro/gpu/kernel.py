@@ -1,0 +1,90 @@
+"""Kernel / grid / CTA abstractions.
+
+A :class:`Kernel` is what a workload model produces: a grid of CTAs
+(thread blocks), each composed of ``warps_per_cta`` warps, plus a trace
+function that lazily generates each warp's instruction stream.  Traces
+are generated lazily per warp so a large grid never materialises in
+memory at once (the streaming-friendly idiom from the HPC guides).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, List, Optional
+
+from repro.gpu.isa import WarpOp
+
+TraceFn = Callable[[int, int], Iterable[WarpOp]]
+
+
+@dataclass
+class Kernel:
+    """One GPU kernel launch.
+
+    Parameters
+    ----------
+    name:
+        Kernel identifier (used in reports; a workload may launch several).
+    num_ctas:
+        Grid size in thread blocks.
+    warps_per_cta:
+        CTA size in warps (CTA threads / 32).
+    trace_fn:
+        ``trace_fn(cta_id, warp_id)`` yields the warp's
+        :class:`~repro.gpu.isa.WarpOp` stream. ``warp_id`` is CTA-local.
+    """
+
+    name: str
+    num_ctas: int
+    warps_per_cta: int
+    trace_fn: TraceFn = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_ctas < 1:
+            raise ValueError(f"kernel {self.name!r} needs at least one CTA")
+        if self.warps_per_cta < 1:
+            raise ValueError(f"kernel {self.name!r} needs at least one warp per CTA")
+
+    @property
+    def total_warps(self) -> int:
+        return self.num_ctas * self.warps_per_cta
+
+    def warp_trace(self, cta_id: int, warp_id: int) -> Iterator[WarpOp]:
+        if not 0 <= cta_id < self.num_ctas:
+            raise IndexError(f"cta_id {cta_id} out of range for {self.name!r}")
+        if not 0 <= warp_id < self.warps_per_cta:
+            raise IndexError(f"warp_id {warp_id} out of range for {self.name!r}")
+        return iter(self.trace_fn(cta_id, warp_id))
+
+    def all_traces(self) -> Iterator[Iterator[WarpOp]]:
+        """Every warp trace in dispatch order (functional-simulation path)."""
+        for cta in range(self.num_ctas):
+            for warp in range(self.warps_per_cta):
+                yield self.warp_trace(cta, warp)
+
+
+@dataclass
+class KernelSequence:
+    """A workload may launch multiple dependent kernels back to back
+    (e.g. BFS runs one kernel per frontier level); they execute in order
+    with a full drain between launches, as CUDA's default stream does."""
+
+    name: str
+    kernels: List[Kernel]
+
+    def __post_init__(self) -> None:
+        if not self.kernels:
+            raise ValueError(f"kernel sequence {self.name!r} is empty")
+
+    @property
+    def total_warps(self) -> int:
+        return sum(k.total_warps for k in self.kernels)
+
+
+def as_kernel_list(obj) -> List[Kernel]:
+    """Normalize Kernel | KernelSequence | list into a kernel list."""
+    if isinstance(obj, Kernel):
+        return [obj]
+    if isinstance(obj, KernelSequence):
+        return list(obj.kernels)
+    return list(obj)

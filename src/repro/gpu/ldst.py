@@ -1,0 +1,124 @@
+"""Load/Store unit.
+
+The LD/ST unit buffers issued warp memory instructions and feeds their
+coalesced requests into the L1D at one request per cycle.  When the L1D
+cannot absorb a request (MSHR full, no reservable slot, full miss
+queue under the baseline policy), the request stays at the head of the
+queue and retries — "the miss request will be blocked in the pipeline
+register and continue to retry in the following cycles ... all future
+accesses to the L1D cache will be stalled" (paper Section 2).  The FIFO
+head-of-line blocking here reproduces exactly that behaviour, and its
+cost is what Stall-Bypass / DLP's bypass paths remove.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional
+
+from repro.cache.l1d import AccessOutcome, L1DCache, MemAccess
+from repro.gpu.warp import Warp
+
+
+@dataclass
+class MemWork:
+    """One warp memory instruction broken into line requests."""
+
+    warp: Optional[Warp]
+    blocks: List[int]
+    is_write: bool
+    pc: int
+    insn_id: int
+    next_index: int = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self.blocks) - self.next_index
+
+
+@dataclass
+class LdStStats:
+    issued_loads: int = 0
+    issued_stores: int = 0
+    requests_sent: int = 0
+    stall_cycles: int = 0
+    queue_full_rejects: int = 0
+
+
+class LdStUnit:
+    """Per-SM memory pipeline front end."""
+
+    def __init__(
+        self,
+        l1d: L1DCache,
+        hit_latency: int,
+        queue_depth: int,
+        schedule: Callable[[int, Callable[[], None]], None],
+        complete_request: Callable[[Optional[Warp]], None],
+        sm_id: int = 0,
+    ):
+        self.l1d = l1d
+        self.hit_latency = hit_latency
+        self.queue_depth = queue_depth
+        self.schedule = schedule
+        self.complete_request = complete_request
+        self.sm_id = sm_id
+        self.queue: Deque[MemWork] = deque()
+        self.stats = LdStStats()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.queue) >= self.queue_depth
+
+    def enqueue(self, work: MemWork) -> None:
+        if self.is_full:
+            raise RuntimeError("enqueue on full LD/ST queue")
+        if work.is_write:
+            self.stats.issued_stores += 1
+        else:
+            self.stats.issued_loads += 1
+            work.warp.begin_memory_wait(len(work.blocks))
+        self.queue.append(work)
+
+    def step(self, now: int) -> bool:
+        """Process (at most) one request this cycle; True on progress."""
+        if not self.queue:
+            return False
+        work = self.queue[0]
+        block = work.blocks[work.next_index]
+        access = MemAccess(
+            block_addr=block,
+            pc=work.pc,
+            insn_id=work.insn_id,
+            is_write=work.is_write,
+            warp_id=work.warp.gid if work.warp else -1,
+            sm_id=self.sm_id,
+            now=now,
+            waiter=None if work.is_write else work.warp,
+        )
+        result = self.l1d.access(access)
+        if result.is_stall:
+            self.stats.stall_cycles += 1
+            return False
+
+        self.stats.requests_sent += 1
+        outcome = result.outcome
+        if outcome is AccessOutcome.HIT:
+            warp = work.warp
+            self.schedule(
+                self.hit_latency, lambda w=warp: self.complete_request(w)
+            )
+        # MISS / HIT_RESERVED waiters complete on fill; BYPASS waiters
+        # complete when the interconnect response arrives; writes are
+        # fire-and-forget.
+
+        work.next_index += 1
+        if work.next_index >= len(work.blocks):
+            self.queue.popleft()
+        return True
+
+    def pending_requests(self) -> int:
+        return sum(w.remaining for w in self.queue)

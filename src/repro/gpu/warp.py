@@ -1,0 +1,93 @@
+"""Warp execution state.
+
+A warp walks its instruction trace in order.  It is *ready* when the
+scheduler may issue its next op: not done, not waiting on outstanding
+memory requests, and past any compute-latency window.  ``age`` is the
+global dispatch sequence number the GTO scheduler uses for its
+oldest-first tiebreak.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.gpu.isa import WarpOp
+
+_NEVER = float("inf")
+
+
+class Warp:
+    __slots__ = (
+        "gid",
+        "cta_slot",
+        "age",
+        "_trace",
+        "current_op",
+        "ready_time",
+        "outstanding",
+        "done",
+        "ready",
+        "push_count",
+        "insns_issued",
+        "thread_insns",
+        "sm",         # owning SM (set at CTA dispatch)
+        "scheduler",  # owning scheduler slot (set at CTA dispatch)
+    )
+
+    def __init__(self, gid: int, cta_slot: int, age: int, trace: Iterator[WarpOp]):
+        self.gid = gid
+        self.cta_slot = cta_slot
+        self.age = age
+        self._trace = trace
+        self.current_op: Optional[WarpOp] = None
+        self.ready_time: float = 0
+        self.outstanding = 0
+        self.done = False
+        self.ready = False  # scheduler bookkeeping flag
+        self.push_count = 0  # invalidates stale ready-heap entries
+        self.insns_issued = 0
+        self.thread_insns = 0
+        self.sm = None
+        self.scheduler = None
+        self._advance()
+
+    def _advance(self) -> None:
+        self.current_op = next(self._trace, None)
+        if self.current_op is None:
+            self.done = True
+
+    def peek(self) -> Optional[WarpOp]:
+        return self.current_op
+
+    def advance(self) -> None:
+        """Move past the current op (called by the scheduler at issue)."""
+        if self.done:
+            raise RuntimeError(f"advance on finished warp {self.gid}")
+        self._advance()
+
+    def begin_memory_wait(self, num_requests: int) -> None:
+        if num_requests < 1:
+            raise ValueError("memory wait needs at least one request")
+        self.outstanding = num_requests
+        self.ready_time = _NEVER
+
+    def complete_request(self, now: int) -> bool:
+        """One memory request finished; True when the warp woke up."""
+        if self.outstanding <= 0:
+            raise RuntimeError(f"spurious completion for warp {self.gid}")
+        self.outstanding -= 1
+        if self.outstanding == 0:
+            self.ready_time = now
+            return True
+        return False
+
+    def is_ready(self, now: int) -> bool:
+        return not self.done and self.outstanding == 0 and self.ready_time <= now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = (
+            "done"
+            if self.done
+            else f"out={self.outstanding} rt={self.ready_time}"
+        )
+        return f"<Warp {self.gid} age={self.age} {state}>"

@@ -1,0 +1,19 @@
+"""Memory-system substrate: interconnect, memory partitions, DRAM.
+
+The paper's machine (Table 1) routes L1D misses over a crossbar to 12
+memory partitions, each holding an L2 slice and a GDDR5 channel.  The
+models here are latency/bandwidth-level (not bank/row cycle-accurate);
+DESIGN.md Section 6 records the fidelity gap.
+"""
+
+from repro.memory.interconnect import Interconnect, InterconnectStats
+from repro.memory.dram import DramChannel
+from repro.memory.partition import MemoryPartition, partition_for
+
+__all__ = [
+    "Interconnect",
+    "InterconnectStats",
+    "DramChannel",
+    "MemoryPartition",
+    "partition_for",
+]

@@ -1,0 +1,19 @@
+"""Small shared utilities: saturating counters, hashing, deterministic RNG.
+
+These mirror the bit-accurate hardware structures the paper costs out in
+Section 4.3 (saturating hit counters, the 7-bit hashed instruction ID, the
+4-bit Protected Life field).
+"""
+
+from repro.utils.counters import SaturatingCounter, saturating_add, saturating_sub
+from repro.utils.hashing import fnv1a_32, hash_pc
+from repro.utils.rng import DeterministicRng
+
+__all__ = [
+    "SaturatingCounter",
+    "saturating_add",
+    "saturating_sub",
+    "fnv1a_32",
+    "hash_pc",
+    "DeterministicRng",
+]

@@ -1,0 +1,79 @@
+"""Saturating counters with explicit bit widths.
+
+The PDPT of the paper stores 8-bit TDA-hit counters, 10-bit VTA-hit
+counters and a 4-bit Protection Distance per entry (Section 4.3); the TDA
+stores a 4-bit Protected Life per line.  All of them saturate rather than
+wrap, which matters for the PD computation: a wrapped counter would make
+the shift-based step comparison of Figure 9 nonsense.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def saturating_add(value: int, delta: int, max_value: int) -> int:
+    """Add ``delta`` to ``value``, clamping the result to ``[0, max_value]``."""
+    result = value + delta
+    if result > max_value:
+        return max_value
+    if result < 0:
+        return 0
+    return result
+
+
+def saturating_sub(value: int, delta: int, min_value: int = 0) -> int:
+    """Subtract ``delta`` from ``value``, clamping the result to ``min_value``."""
+    result = value - delta
+    return result if result > min_value else min_value
+
+
+@dataclass
+class SaturatingCounter:
+    """An unsigned saturating counter of ``bits`` width.
+
+    >>> c = SaturatingCounter(bits=2)
+    >>> for _ in range(10):
+    ...     c.increment()
+    >>> c.value
+    3
+    """
+
+    bits: int
+    value: int = 0
+    _max: int = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError(f"counter needs at least 1 bit, got {self.bits}")
+        self._max = (1 << self.bits) - 1
+        if not 0 <= self.value <= self._max:
+            raise ValueError(
+                f"initial value {self.value} out of range for {self.bits} bits"
+            )
+
+    @property
+    def max_value(self) -> int:
+        return self._max
+
+    def increment(self, delta: int = 1) -> int:
+        self.value = saturating_add(self.value, delta, self._max)
+        return self.value
+
+    def decrement(self, delta: int = 1) -> int:
+        self.value = saturating_sub(self.value, delta)
+        return self.value
+
+    def set(self, value: int) -> int:
+        """Assign, clamping into range (hardware write of a wider value)."""
+        self.value = min(max(0, value), self._max)
+        return self.value
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def is_saturated(self) -> bool:
+        return self.value == self._max
+
+    def __int__(self) -> int:
+        return self.value

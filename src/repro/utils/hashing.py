@@ -1,0 +1,79 @@
+"""Hash functions used by the cache substrate.
+
+Two uses in the reproduced design:
+
+* The baseline L1D uses a *hash* set-index function (Table 1: "Hash index")
+  rather than simple bit-slicing; GPGPU-Sim's Fermi config XORs higher
+  address bits into the set index to spread power-of-two strides.
+* DLP tags every cache line with a 7-bit *hashed PC* instruction ID
+  (Section 4.1.1); we reproduce that with an FNV-1a hash folded to 7 bits.
+"""
+
+from __future__ import annotations
+
+_FNV_OFFSET_32 = 0x811C9DC5
+_FNV_PRIME_32 = 0x01000193
+
+
+def fnv1a_32(value: int) -> int:
+    """FNV-1a hash of an integer's little-endian bytes, 32-bit."""
+    h = _FNV_OFFSET_32
+    v = value & 0xFFFFFFFFFFFFFFFF
+    while True:
+        h ^= v & 0xFF
+        h = (h * _FNV_PRIME_32) & 0xFFFFFFFF
+        v >>= 8
+        if v == 0:
+            break
+    return h
+
+
+def _fmix32(h: int) -> int:
+    """Murmur3 finaliser: full avalanche so low output bits depend on
+    every input bit (plain FNV low bits are weak for small inputs)."""
+    h &= 0xFFFFFFFF
+    h ^= h >> 16
+    h = (h * 0x85EBCA6B) & 0xFFFFFFFF
+    h ^= h >> 13
+    h = (h * 0xC2B2AE35) & 0xFFFFFFFF
+    h ^= h >> 16
+    return h
+
+
+def hash_pc(pc: int, bits: int = 7) -> int:
+    """Fold a program counter into an instruction ID of ``bits`` width.
+
+    The paper's PDPT has 128 entries indexed by this 7-bit ID, so two PCs
+    can collide; the reproduction keeps that behaviour rather than hiding
+    it behind a dict keyed by full PC.
+    """
+    if bits < 1:
+        raise ValueError("instruction ID needs at least 1 bit")
+    return _fmix32(fnv1a_32(pc)) & ((1 << bits) - 1)
+
+
+def xor_set_index(block_addr: int, num_sets: int) -> int:
+    """XOR-hash set index: fold higher block-address bits into the index.
+
+    ``block_addr`` is the line address (byte address >> log2(line size)).
+    Folding the address in ``log2(num_sets)``-wide slices breaks up
+    power-of-two strides that would otherwise all map to one set.
+    """
+    if num_sets <= 0 or num_sets & (num_sets - 1):
+        raise ValueError(f"num_sets must be a power of two, got {num_sets}")
+    bits = num_sets.bit_length() - 1
+    if bits == 0:
+        return 0
+    index = 0
+    addr = block_addr
+    while addr:
+        index ^= addr & (num_sets - 1)
+        addr >>= bits
+    return index
+
+
+def linear_set_index(block_addr: int, num_sets: int) -> int:
+    """Plain modulo set index (the paper's L2 uses "Linear index")."""
+    if num_sets <= 0 or num_sets & (num_sets - 1):
+        raise ValueError(f"num_sets must be a power of two, got {num_sets}")
+    return block_addr & (num_sets - 1)

@@ -1,0 +1,61 @@
+"""Deterministic random number generation for workload models.
+
+All synthetic workloads must be reproducible run-to-run so that the
+benchmark harness's normalized figures are stable.  Every workload derives
+its stream from a :class:`DeterministicRng` seeded from the workload name,
+so adding a new workload never perturbs the streams of existing ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.hashing import fnv1a_32
+
+
+class DeterministicRng:
+    """A numpy Generator seeded deterministically from a string key."""
+
+    def __init__(self, key: str, salt: int = 0):
+        self.key = key
+        self.salt = salt
+        seed = (fnv1a_32(salt) ^ _string_hash(key)) & 0xFFFFFFFF
+        self._gen = np.random.default_rng(seed)
+
+    @property
+    def generator(self) -> np.random.Generator:
+        return self._gen
+
+    def integers(self, low: int, high: int, size=None):
+        return self._gen.integers(low, high, size=size)
+
+    def random(self, size=None):
+        return self._gen.random(size=size)
+
+    def permutation(self, n: int) -> np.ndarray:
+        return self._gen.permutation(n)
+
+    def choice(self, a, size=None, replace: bool = True, p=None):
+        return self._gen.choice(a, size=size, replace=replace, p=p)
+
+    def zipf_indices(self, n_items: int, count: int, exponent: float = 1.2) -> np.ndarray:
+        """Zipf-distributed indices in ``[0, n_items)``.
+
+        Used by workloads with skewed access popularity (histogram bins,
+        string-match dictionary words).  Implemented by inverse-CDF over a
+        truncated Zipf so no rejection loop is needed.
+        """
+        ranks = np.arange(1, n_items + 1, dtype=np.float64)
+        weights = ranks ** (-exponent)
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        u = self._gen.random(count)
+        return np.searchsorted(cdf, u).astype(np.int64)
+
+
+def _string_hash(s: str) -> int:
+    h = 0x811C9DC5
+    for ch in s.encode("utf-8"):
+        h ^= ch
+        h = (h * 0x01000193) & 0xFFFFFFFF
+    return h

@@ -1,0 +1,30 @@
+"""Synthetic models of the paper's 18 benchmarks (Table 2).
+
+Each module reproduces one benchmark's *memory access structure* — the
+per-PC address streams, strides, divergence and reuse distances that
+the DLP mechanism reacts to — at inputs scaled to finish in seconds.
+See ``base.py`` for the modelling rules and DESIGN.md for the
+substitution argument.
+"""
+
+from repro.workloads.base import AddressMap, Workload, WorkloadMeta
+from repro.workloads.registry import (
+    ALL_APPS,
+    CI_APPS,
+    CS_APPS,
+    WORKLOADS,
+    make_workload,
+    table2_rows,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadMeta",
+    "AddressMap",
+    "WORKLOADS",
+    "ALL_APPS",
+    "CS_APPS",
+    "CI_APPS",
+    "make_workload",
+    "table2_rows",
+]

@@ -1,0 +1,82 @@
+"""BP — Back Propagation (Rodinia; Cache Sufficient).
+
+Rodinia's backprop trains one hidden layer of a perceptron.  The
+forward kernel computes ``hidden[j] = f(sum_i input[i] * w[i][j])``:
+every CTA re-reads the *same small input vector* while streaming its own
+slice of the weight matrix.  The input vector is a handful of lines hit
+over and over at short distances (Fig. 3: BP's RDs concentrate in the
+1~4 range); the weights are compulsory-miss traffic.  The weight-update
+kernel revisits the weight slice with the same structure.
+
+Scaling: paper input 65536 input units; model uses a 512-float input
+vector (16 lines) and a 192-warp weight sweep.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpu.isa import compute, load, store
+from repro.gpu.kernel import Kernel
+from repro.workloads.base import LINE, Workload, WorkloadMeta
+
+_PC_INPUT = 0x500     # shared input vector (hot, short RD)
+_PC_WEIGHT = 0x508    # streaming weight rows
+_PC_HIDDEN_ST = 0x510
+_PC_DELTA = 0x518     # backward pass: delta vector (hot)
+_PC_WUPDATE_LD = 0x520
+_PC_WUPDATE_ST = 0x528
+
+
+class BackPropagation(Workload):
+    meta = WorkloadMeta(
+        name="Back Propagation",
+        abbr="BP",
+        suite="Rodinia",
+        paper_type="CS",
+        paper_input="65536",
+        scaled_input="512-unit input layer, 192 hidden-unit warps",
+    )
+
+    def __init__(self, scale: float = 1.0):
+        super().__init__(scale)
+        self.input_lines = 16         # 512 floats
+        self.num_ctas = 24
+        self.warps_per_cta = 8
+        self.weight_lines_per_warp = max(4, int(16 * scale))
+
+    def build_kernels(self) -> List[Kernel]:
+        total_warps = self.num_ctas * self.warps_per_cta
+        input_base = self.addr.region("input_units", self.input_lines * LINE)
+        delta_base = self.addr.region("hidden_delta", self.input_lines * LINE)
+        weights = self.addr.region(
+            "weights", total_warps * self.weight_lines_per_warp * LINE
+        )
+        hidden = self.addr.region("hidden_units", total_warps * LINE)
+
+        def forward(cta: int, w: int):
+            warp_index = cta * self.warps_per_cta + w
+            my_weights = weights + warp_index * self.weight_lines_per_warp * LINE
+            for i in range(self.weight_lines_per_warp):
+                # the shared input vector line: every warp on the SM hits
+                # the same 16 lines round-robin -> short-distance reuse
+                yield load(_PC_INPUT, self.coalesced(input_base + (i % self.input_lines) * LINE))
+                yield load(_PC_WEIGHT, self.coalesced(my_weights + i * LINE))
+                yield compute(12)  # 32 multiply-accumulate + activation work
+            yield compute(8)
+            yield store(_PC_HIDDEN_ST, self.coalesced(hidden + warp_index * LINE))
+
+        def weight_update(cta: int, w: int):
+            warp_index = cta * self.warps_per_cta + w
+            my_weights = weights + warp_index * self.weight_lines_per_warp * LINE
+            for i in range(self.weight_lines_per_warp):
+                yield load(_PC_DELTA, self.coalesced(delta_base + (i % self.input_lines) * LINE))
+                yield load(_PC_WUPDATE_LD, self.coalesced(my_weights + i * LINE))
+                yield compute(10)
+                yield store(_PC_WUPDATE_ST, self.coalesced(my_weights + i * LINE))
+                yield compute(4)
+
+        return [
+            Kernel("bp_forward", self.num_ctas, self.warps_per_cta, forward),
+            Kernel("bp_adjust", self.num_ctas, self.warps_per_cta, weight_update),
+        ]

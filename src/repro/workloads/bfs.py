@@ -1,0 +1,198 @@
+"""BFS — Breadth-First Search (Rodinia; Cache Insufficient).
+
+Rodinia's BFS launches one kernel per frontier level with one *thread
+per node*: each thread checks its node's frontier mask and, if set,
+walks the node's CSR adjacency list and relaxes neighbour costs.  A warp
+therefore covers 32 consecutive nodes, and its static loads have sharply
+different reuse profiles — the paper's Figure 7 plots the per-PC RDDs of
+exactly this benchmark to motivate per-instruction protection:
+
+* mask / row-offset reads are coalesced over consecutive node ids:
+  adjacent warps share their boundary lines at short distances, and the
+  arrays are re-scanned every level (long distances);
+* edge-list reads stream through the CSR array with cross-node line
+  sharing in the middle ranges;
+* visited/cost gathers scatter over the node arrays through neighbour
+  ids; graph locality (neighbours within +/-64) turns them into window
+  reuse between nearby warps at protectable distances, while long-range
+  links land in the long range.
+
+The graph is synthetic: ring locality plus sparse long links, giving
+realistic frontier growth.  Frontier sets are precomputed host-side, as
+Rodinia's driver effectively does via the mask arrays.
+
+Scaling: paper input 65536 nodes; model uses 4096 nodes, degree ~8.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.gpu.isa import compute, load, store
+from repro.gpu.kernel import Kernel
+from repro.workloads.base import LINE, WARP, Workload, WorkloadMeta
+
+_PC_MASK = 0xD00        # insn1: frontier-mask scan (per level)
+_PC_ROW_LO = 0xD08      # insn2: row_offsets[node]
+_PC_ROW_HI = 0xD10      # insn3: row_offsets[node+1]
+_PC_EDGES = 0xD18       # insn4: adjacency lists
+_PC_VISITED = 0xD20     # insn5: visited[neighbour] gather
+_PC_COST_LD = 0xD28     # insn6: cost[neighbour] gather
+_PC_COST_ST = 0xD30     # insn7: cost update
+_PC_NEWMASK_ST = 0xD38  # insn8: updating-mask store
+_PC_VISITED_ST = 0xD40  # insn9: visited update
+
+
+class Bfs(Workload):
+    meta = WorkloadMeta(
+        name="Breadth-First Search",
+        abbr="BFS",
+        suite="Rodinia",
+        paper_type="CI",
+        paper_input="65536",
+        scaled_input="4096 nodes, deg ~8, ring locality + long links",
+    )
+
+    def __init__(self, scale: float = 1.0):
+        super().__init__(scale)
+        self.num_nodes = max(1024, int(4096 * scale))
+        self.degree = 8
+        self.warps_per_cta = 8
+        self._graph_built = False
+
+    # -- graph construction -------------------------------------------------
+
+    def _build_graph(self) -> None:
+        if self._graph_built:
+            return
+        n = self.num_nodes
+        gen = self.rng.generator
+        # local edges: neighbours within +/-64 (renumbered-mesh locality)
+        local = (
+            np.arange(n)[:, None]
+            + gen.integers(-256, 257, size=(n, self.degree - 1))
+        ) % n
+        # one long-range link per node, concentrated on hub nodes (web/
+        # social graphs have skewed in-degree); hub visited/cost lines are
+        # re-referenced throughout a level at protectable distances
+        longlink = gen.integers(0, max(256, n // 2), size=(n, 1))
+        adj = np.concatenate([local, longlink], axis=1).astype(np.int64)
+        self.row_offsets = np.arange(0, (n + 1) * self.degree, self.degree)
+        self.edges = adj.reshape(-1)
+        # host-side BFS to derive per-level frontiers
+        level = np.full(n, -1, dtype=np.int64)
+        level[0] = 0
+        frontier = np.array([0], dtype=np.int64)
+        self.frontiers: List[np.ndarray] = []
+        depth = 0
+        while frontier.size and depth < 12:
+            self.frontiers.append(frontier)
+            nbrs = self.edges[
+                np.concatenate(
+                    [np.arange(self.row_offsets[v], self.row_offsets[v + 1]) for v in frontier]
+                )
+            ]
+            fresh = np.unique(nbrs[level[nbrs] < 0])
+            level[fresh] = depth + 1
+            frontier = fresh
+            depth += 1
+        self.levels = level
+        self._graph_built = True
+
+    # -- kernels ------------------------------------------------------------
+
+    def build_kernels(self) -> List[Kernel]:
+        self._build_graph()
+        n = self.num_nodes
+        mask = self.addr.region("mask", n)           # 1 B per node
+        rows = self.addr.region("row_offsets", (n + 1) * 4)
+        edges = self.addr.region("edges", self.edges.size * 4)
+        visited = self.addr.region("visited", n)
+        cost = self.addr.region("cost", n * 4)
+
+        chunks = n // WARP
+        num_ctas = max(1, chunks // self.warps_per_cta)
+
+        kernels = []
+        for depth, frontier in enumerate(self.frontiers):
+            by_chunk: Dict[int, np.ndarray] = dict(zip(*_group_by_chunk(frontier)))
+            kernels.append(
+                Kernel(
+                    f"bfs_level{depth}",
+                    num_ctas,
+                    self.warps_per_cta,
+                    self._make_level_trace(
+                        depth, by_chunk, mask, rows, edges, visited, cost
+                    ),
+                )
+            )
+        return kernels
+
+    def _make_level_trace(self, depth, by_chunk, mask, rows, edges, visited, cost):
+        row_offsets = self.row_offsets
+        edge_ids = self.edges
+
+        levels = self.levels
+
+        def trace(cta: int, w: int):
+            chunk = cta * self.warps_per_cta + w
+            # insn1: each thread checks its node's mask byte (one line
+            # covers 128 nodes -> adjacent warps share it)
+            yield load(_PC_MASK, self.coalesced(mask + chunk * WARP, elem_bytes=1))
+            yield compute(2)
+            members = by_chunk.get(chunk)
+            if members is None:
+                return
+            members = members.astype(np.int64)
+            # insn2/3: row offsets of the frontier lanes (consecutive node
+            # ids -> one or two lines)
+            yield load(_PC_ROW_LO, _pad32(rows + members * 4))
+            yield load(_PC_ROW_HI, _pad32(rows + members * 4 + 4))
+            yield compute(2)
+            # per-lane adjacency slices, emitted in groups of 32 edges the
+            # way the divergent inner loop serialises
+            starts = row_offsets[members]
+            all_edges = np.concatenate(
+                [np.arange(s, s + self.degree) for s in starts]
+            ).astype(np.int64)
+            for grp in range(0, all_edges.size, WARP):
+                sel = all_edges[grp:grp + WARP]
+                yield load(_PC_EDGES, _pad32(edges + sel * 4))
+                nbrs = edge_ids[sel]
+                yield compute(2)
+                yield load(_PC_VISITED, _pad32(visited + nbrs))
+                yield compute(1)
+                yield load(_PC_COST_LD, _pad32(cost + nbrs * 4))
+                yield compute(2)
+                # only not-yet-visited neighbours (the fresh frontier) get
+                # their cost/visited entries written, as in Rodinia's
+                # kernel1 — most probes are read-only
+                fresh = nbrs[levels[nbrs] == depth + 1]
+                if fresh.size:
+                    yield store(_PC_COST_ST, _pad32(cost + fresh * 4))
+                    yield store(_PC_VISITED_ST, _pad32(visited + fresh))
+                yield compute(1)
+            yield store(_PC_NEWMASK_ST, _pad32(mask + members))
+            yield compute(2)
+
+        return trace
+
+
+def _pad32(addrs: np.ndarray) -> np.ndarray:
+    """Replicate addresses up to a full 32-lane vector (partial warps)."""
+    if addrs.size >= WARP:
+        return addrs[:WARP]
+    return np.resize(addrs, WARP)
+
+
+def _group_by_chunk(frontier: np.ndarray):
+    """Split frontier node ids by their warp chunk (node // 32)."""
+    chunks = frontier // WARP
+    order = np.argsort(chunks, kind="stable")
+    sorted_chunks = chunks[order]
+    sorted_nodes = frontier[order]
+    uniq, starts = np.unique(sorted_chunks, return_index=True)
+    groups = np.split(sorted_nodes, starts[1:])
+    return uniq.tolist(), groups

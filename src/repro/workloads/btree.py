@@ -1,0 +1,82 @@
+"""BT — B+tree (Rodinia; Cache Sufficient).
+
+Batched key lookups over a B+tree: every query walks root -> internal ->
+leaf.  The root line is touched by every query (very short reuse), the
+internal level (16 nodes) is warm, and the leaves (512 nodes, selected
+by key) mostly miss.  The resulting hit rate is relatively high, and the
+hits carry the performance — the paper shows Stall-Bypass losing 12 %
+IPC on BT by bypassing accesses to the warm upper levels, while
+protection schemes retain them (Section 6.1.1, Fig. 12).
+
+Scaling: paper input 6000x3000 (bundled tree/query files); the model
+uses a 3-level tree and 48 queries per warp.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpu.isa import compute, load, store
+from repro.gpu.kernel import Kernel
+from repro.workloads.base import LINE, Workload, WorkloadMeta
+
+_PC_KEYS = 0x900      # query key stream (coalesced)
+_PC_ROOT = 0x908      # root node (hot)
+_PC_INTERNAL = 0x910  # internal level (warm)
+_PC_LEAF = 0x918      # leaf nodes (cold, key-dependent)
+_PC_RESULT = 0x920
+
+
+class BTree(Workload):
+    meta = WorkloadMeta(
+        name="B+tree",
+        abbr="BT",
+        suite="Rodinia",
+        paper_type="CS",
+        paper_input="6000x3000",
+        scaled_input="3-level tree (1/16/512 nodes), 48 queries/warp",
+    )
+
+    def __init__(self, scale: float = 1.0):
+        super().__init__(scale)
+        self.num_ctas = 16
+        self.warps_per_cta = 6
+        self.queries_per_warp = max(8, int(48 * scale))
+        self.internal_nodes = 16
+        self.leaf_nodes = 512
+
+    def build_kernels(self) -> List[Kernel]:
+        total_warps = self.num_ctas * self.warps_per_cta
+        keys = self.addr.region("keys", total_warps * self.queries_per_warp * 4 * 2)
+        root = self.addr.region("root", LINE)
+        internal = self.addr.region("internal", self.internal_nodes * LINE)
+        leaves = self.addr.region("leaves", self.leaf_nodes * LINE)
+        results = self.addr.region("results", total_warps * self.queries_per_warp * 8)
+        rng = self.rng
+
+        def trace(cta: int, w: int):
+            warp_index = cta * self.warps_per_cta + w
+            # pre-draw this warp's tree paths (key-dependent)
+            internal_ids = rng.integers(0, self.internal_nodes, self.queries_per_warp)
+            leaf_ids = rng.integers(0, self.leaf_nodes, self.queries_per_warp)
+            key_base = keys + warp_index * self.queries_per_warp * 8
+            for q in range(self.queries_per_warp):
+                if q % 16 == 0:
+                    yield load(_PC_KEYS, self.coalesced(key_base + (q // 16) * LINE))
+                yield load(_PC_ROOT, self.broadcast(root))
+                yield compute(9)  # binary search within the node
+                yield load(
+                    _PC_INTERNAL,
+                    self.broadcast(internal + int(internal_ids[q]) * LINE),
+                )
+                yield compute(9)
+                yield load(_PC_LEAF, self.broadcast(leaves + int(leaf_ids[q]) * LINE))
+                yield compute(9)
+                if q % 16 == 15:
+                    yield store(
+                        _PC_RESULT,
+                        self.coalesced(results + warp_index * self.queries_per_warp * 8),
+                    )
+                yield compute(6)
+
+        return [Kernel("bt_lookup", self.num_ctas, self.warps_per_cta, trace)]

@@ -1,0 +1,89 @@
+"""CFD — Computational Fluid Dynamics (Rodinia; Cache Insufficient).
+
+Rodinia's CFD is an unstructured-mesh Euler solver: per time step it
+computes fluxes for every cell from the cell's five conserved variables
+and those of its four neighbours, in several passes over the mesh.
+Each warp owns a 32-cell block; one pass loads the block's five variable
+lines plus neighbour lines from adjacent blocks.  With 48 resident
+warps x ~7 lines the per-SM working set is ~2.5x the 16 KB L1D, and the
+inter-pass / inter-warp re-references land at protectable distances —
+this is one of the applications where the paper's Fig. 10 shows
+Global-Protection and DLP beating even the 32 KB cache.
+
+Scaling: paper input 97046 cells (missile.domn); model uses 6144 cells
+over 3 flux passes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpu.isa import compute, load, store
+from repro.gpu.kernel import Kernel
+from repro.workloads.base import LINE, Workload, WorkloadMeta
+
+_PC_DENSITY = 0xA00
+_PC_MOMENTUM = 0xA08
+_PC_ENERGY = 0xA10
+_PC_NEIGHBOR = 0xA18   # neighbour-cell gather (irregular)
+_PC_NORMALS = 0xA20    # face normals (streaming)
+_PC_FLUX_STORE = 0xA28
+
+
+class Cfd(Workload):
+    meta = WorkloadMeta(
+        name="Computational Fluid Dynamics",
+        abbr="CFD",
+        suite="Rodinia",
+        paper_type="CI",
+        paper_input="97046",
+        scaled_input="6144 cells, 3 flux passes, 4-neighbour gather",
+    )
+
+    def __init__(self, scale: float = 1.0):
+        super().__init__(scale)
+        self.num_ctas = 16
+        self.warps_per_cta = 12
+        self.passes = max(1, int(3 * scale))
+        self.var_lines = 5   # rho, 3x momentum, energy: one line per var per block
+
+    def build_kernels(self) -> List[Kernel]:
+        total_warps = self.num_ctas * self.warps_per_cta
+        block_bytes = self.var_lines * LINE
+        variables = self.addr.region("variables", total_warps * block_bytes)
+        normals = self.addr.region("normals", total_warps * self.passes * 2 * LINE)
+        fluxes = self.addr.region("fluxes", total_warps * block_bytes)
+        rng = self.rng
+
+        def make_trace(pass_id: int):
+            def trace(cta: int, w: int):
+                warp_index = cta * self.warps_per_cta + w
+                my_block = variables + warp_index * block_bytes
+                # neighbour blocks: unstructured meshes renumbered with
+                # locality, so neighbours are nearby warp blocks
+                offsets = rng.integers(1, 5, size=4)
+                for step in range(2):
+                    yield load(_PC_DENSITY, self.coalesced(my_block))
+                    yield load(_PC_MOMENTUM, self.coalesced(my_block + LINE))
+                    yield load(_PC_MOMENTUM, self.coalesced(my_block + 2 * LINE))
+                    yield load(_PC_ENERGY, self.coalesced(my_block + 3 * LINE))
+                    yield compute(3)
+                    for k in range(2):
+                        nbr = (warp_index + int(offsets[step * 2 + k])) % total_warps
+                        nbr_block = variables + nbr * block_bytes
+                        yield load(
+                            _PC_NEIGHBOR, self.coalesced(nbr_block + (k % self.var_lines) * LINE)
+                        )
+                        yield compute(2)
+                    nrm = normals + (warp_index * self.passes + pass_id) * 2 * LINE
+                    yield load(_PC_NORMALS, self.coalesced(nrm + step * LINE))
+                    yield compute(4)
+                yield store(_PC_FLUX_STORE, self.coalesced(fluxes + warp_index * block_bytes))
+                yield compute(2)
+
+            return trace
+
+        return [
+            Kernel(f"cfd_flux{p}", self.num_ctas, self.warps_per_cta, make_trace(p))
+            for p in range(self.passes)
+        ]

@@ -1,0 +1,88 @@
+"""SC — Separable Convolution (Cache Sufficient).
+
+A row-then-column separable image filter.  The row pass slides a
+radius-8 window along each image row: the window spans two or three
+consecutive lines, and advancing one tile re-references the line just
+loaded — back-to-back, so the reuse distances are short (Fig. 3: SC's
+RDs concentrate in the 1~4 range).  The column pass reads a vertical
+neighbourhood whose rows are shared between consecutive warp rows,
+again at short distances.  Generous per-tap arithmetic keeps the
+memory-access ratio under 1 %.
+
+Scaling: paper input 2048x512; model filters a 64-line-wide strip of 96
+rows with radius 8.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpu.isa import compute, load, store
+from repro.gpu.kernel import Kernel
+from repro.workloads.base import LINE, Workload, WorkloadMeta
+
+_PC_ROW_MAIN = 0x400   # row pass: tile load
+_PC_ROW_APRON = 0x408  # row pass: apron (next line, re-referenced soon)
+_PC_ROW_STORE = 0x410
+_PC_COL_MAIN = 0x418   # column pass: centre row
+_PC_COL_NBR = 0x420    # column pass: vertical neighbours
+_PC_COL_STORE = 0x428
+
+
+class SeparableConvolution(Workload):
+    meta = WorkloadMeta(
+        name="Separable Convolution",
+        abbr="SC",
+        suite="Rodinia",
+        paper_type="CS",
+        paper_input="2048x512",
+        scaled_input="96 rows x 16 lines, radius-8 separable filter",
+    )
+
+    def __init__(self, scale: float = 1.0):
+        super().__init__(scale)
+        self.rows = max(16, int(96 * scale))
+        self.lines_per_row = 16
+        self.warps_per_cta = 8
+        self.num_ctas = self.rows // self.warps_per_cta
+
+    def build_kernels(self) -> List[Kernel]:
+        row_bytes = self.lines_per_row * LINE
+        img = self.addr.region("image", self.rows * row_bytes)
+        tmp = self.addr.region("row_result", self.rows * row_bytes)
+        out = self.addr.region("output", self.rows * row_bytes)
+
+        def row_trace(cta: int, w: int):
+            row = cta * self.warps_per_cta + w
+            base = img + row * row_bytes
+            for tile in range(self.lines_per_row):
+                yield load(_PC_ROW_MAIN, self.coalesced(base + tile * LINE))
+                if tile + 1 < self.lines_per_row:
+                    # right apron: the very line the next tile re-reads
+                    yield load(_PC_ROW_APRON, self.coalesced(base + (tile + 1) * LINE))
+                yield compute(17)  # 17 taps per output element
+                yield store(_PC_ROW_STORE, self.coalesced(tmp + row * row_bytes + tile * LINE))
+                yield compute(4)
+
+        def col_trace(cta: int, w: int):
+            row = cta * self.warps_per_cta + w
+            for tile in range(self.lines_per_row):
+                centre = tmp + row * row_bytes + tile * LINE
+                yield load(_PC_COL_MAIN, self.coalesced(centre))
+                # vertical taps: rows row-1 and row+1 are also the centre
+                # rows of the adjacent warps -> short-distance sharing
+                for dy in (-1, 1):
+                    nbr = row + dy
+                    if 0 <= nbr < self.rows:
+                        yield load(
+                            _PC_COL_NBR,
+                            self.coalesced(tmp + nbr * row_bytes + tile * LINE),
+                        )
+                yield compute(17)
+                yield store(_PC_COL_STORE, self.coalesced(out + row * row_bytes + tile * LINE))
+                yield compute(4)
+
+        return [
+            Kernel("sc_rows", self.num_ctas, self.warps_per_cta, row_trace),
+            Kernel("sc_cols", self.num_ctas, self.warps_per_cta, col_trace),
+        ]

@@ -1,0 +1,73 @@
+"""GEMM — Matrix Multiply-add (Polybench; Cache Sufficient).
+
+Shared-memory-tiled ``C = alpha*A*B + beta*C``: each CTA owns a C tile
+and loops over k-tiles, loading an A tile and a B tile per step and then
+grinding through the in-tile FMA loop.  A-tile rows are shared between
+CTAs in the same tile row and B tiles between CTAs in the same tile
+column, producing moderate cross-CTA reuse; the FMA loop dominates, so
+the memory-access ratio is well under 1 %.
+
+The paper notes DLP can slightly *over-protect* GEMM (3 % loss vs
+Global-Protection, Section 6.1.1) — the tiled loads from a single PC
+have mixed distances.
+
+Scaling: paper input 512x512x512; model runs a 8x8 tile grid with 8
+k-tiles of 4 lines each.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpu.isa import compute, load, store
+from repro.gpu.kernel import Kernel
+from repro.workloads.base import LINE, Workload, WorkloadMeta
+
+_PC_A = 0x800
+_PC_B = 0x808
+_PC_C_LOAD = 0x810
+_PC_C_STORE = 0x818
+
+
+class Gemm(Workload):
+    meta = WorkloadMeta(
+        name="Matrix Multiply-add",
+        abbr="GEMM",
+        suite="Polybench",
+        paper_type="CS",
+        paper_input="512X512X512",
+        scaled_input="8x8 CTA tile grid, 8 k-tiles x 4 lines",
+    )
+
+    def __init__(self, scale: float = 1.0):
+        super().__init__(scale)
+        self.tile_grid = 8
+        self.k_tiles = max(2, int(8 * scale))
+        self.tile_lines = 4
+        self.warps_per_cta = 4
+
+    def build_kernels(self) -> List[Kernel]:
+        g, kt, tl = self.tile_grid, self.k_tiles, self.tile_lines
+        a = self.addr.region("A", g * kt * tl * LINE)
+        b = self.addr.region("B", kt * g * tl * LINE)
+        c = self.addr.region("C", g * g * tl * LINE)
+
+        def trace(cta: int, w: int):
+            ti, tj = divmod(cta, g)
+            # beta*C read
+            c_tile = c + (ti * g + tj) * tl * LINE
+            yield load(_PC_C_LOAD, self.coalesced(c_tile + (w % tl) * LINE))
+            yield compute(4)
+            for k in range(kt):
+                a_tile = a + (ti * kt + k) * tl * LINE
+                b_tile = b + (k * g + tj) * tl * LINE
+                # cooperative tile loads: each warp fetches one line of
+                # each tile (the CUDA kernel's shared-memory staging)
+                yield load(_PC_A, self.coalesced(a_tile + (w % tl) * LINE))
+                yield load(_PC_B, self.coalesced(b_tile + (w % tl) * LINE))
+                # in-tile FMA loop over the tile's k extent
+                yield compute(48)
+            yield compute(8)
+            yield store(_PC_C_STORE, self.coalesced(c_tile + (w % tl) * LINE))
+
+        return [Kernel("gemm_tiled", g * g, self.warps_per_cta, trace)]

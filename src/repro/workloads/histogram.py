@@ -1,0 +1,97 @@
+"""HG — Histogram (CUDA Samples; Cache Sufficient).
+
+Structure of the CUDA-Samples 64-bin/256-bin histogram: each warp
+streams through its slice of the input array and accumulates into a
+*per-warp private* sub-histogram (the real kernel keeps these in shared
+memory banks; Mars-style variants keep them in global memory, which is
+what we model so bin traffic reaches the L1D).  A final merge kernel
+reduces the sub-histograms.
+
+Reuse behaviour this reproduces (Fig. 3: HG's reuses are almost all
+RD > 65, Fig. 6: HG has the lowest memory-access ratio):
+
+* input is a pure stream — compulsory misses, never reused;
+* each warp's 8 private bin lines are re-touched only after a long run
+  of input lines and the other resident warps' traffic, so their per-set
+  reuse distances land deep in the long range;
+* per-element bin selection and accumulation is compute-heavy, keeping
+  the memory-access ratio far below 1 %.
+
+Scaling: paper input 67108864 elements; the model streams
+``chunks_per_warp`` lines per warp over a 192-CTA-warp grid.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpu.isa import compute, load, store
+from repro.gpu.kernel import Kernel
+from repro.workloads.base import LINE, Workload, WorkloadMeta
+
+_PC_INPUT = 0x100      # streaming input read
+_PC_BIN_LOAD = 0x108   # private sub-histogram read-modify-write (read)
+_PC_BIN_STORE = 0x110  # private sub-histogram write
+_PC_MERGE_LOAD = 0x118  # final merge reads
+_PC_MERGE_STORE = 0x120
+
+
+class Histogram(Workload):
+    meta = WorkloadMeta(
+        name="Histogram",
+        abbr="HG",
+        suite="CUDA Samples",
+        paper_type="CS",
+        paper_input="67108864",
+        scaled_input="147456 elements, 1024 bins, per-warp sub-histograms",
+    )
+
+    def __init__(self, scale: float = 1.0):
+        super().__init__(scale)
+        self.num_ctas = 24
+        self.warps_per_cta = 8
+        self.chunks_per_warp = max(4, int(32 * scale))
+        self.bins_lines = 32  # 1024 bins x 4 B = 32 lines per warp
+
+    def build_kernels(self) -> List[Kernel]:
+        total_warps = self.num_ctas * self.warps_per_cta
+        input_bytes = total_warps * self.chunks_per_warp * LINE
+        input_base = self.addr.region("input", input_bytes)
+        bins_base = self.addr.region(
+            "sub_histograms", total_warps * self.bins_lines * LINE
+        )
+        final_base = self.addr.region("histogram", self.bins_lines * LINE)
+        rng = self.rng
+
+        def main_trace(cta: int, w: int):
+            warp_index = cta * self.warps_per_cta + w
+            my_input = input_base + warp_index * self.chunks_per_warp * LINE
+            my_bins = bins_base + warp_index * self.bins_lines * LINE
+            # pre-draw the bin line touched after each input chunk (Zipf:
+            # real inputs have skewed bin popularity)
+            bin_lines = rng.zipf_indices(self.bins_lines, self.chunks_per_warp, 0.8)
+            for i in range(self.chunks_per_warp):
+                yield load(_PC_INPUT, self.coalesced(my_input + i * LINE))
+                # per-element bin computation: shifts, compares, shared-mem
+                # style accumulation -> heavy ALU work per input line
+                yield compute(44)
+                if i % 2 == 0:
+                    bin_addr = my_bins + int(bin_lines[i]) * LINE
+                    yield load(_PC_BIN_LOAD, self.broadcast(bin_addr))
+                    yield compute(12)
+                    yield store(_PC_BIN_STORE, self.broadcast(bin_addr))
+                yield compute(24)
+
+        def merge_trace(cta: int, w: int):
+            # each merge warp reduces one bin line across all sub-histograms
+            line = (cta * self.warps_per_cta + w) % self.bins_lines
+            for warp_index in range(0, self.num_ctas * self.warps_per_cta, 8):
+                src = bins_base + (warp_index * self.bins_lines + line) * LINE
+                yield load(_PC_MERGE_LOAD, self.coalesced(src))
+                yield compute(4)
+            yield store(_PC_MERGE_STORE, self.coalesced(final_base + line * LINE))
+
+        return [
+            Kernel("hg_main", self.num_ctas, self.warps_per_cta, main_trace),
+            Kernel("hg_merge", 1, self.bins_lines, merge_trace),
+        ]

@@ -1,0 +1,90 @@
+"""HS — Hotspot (Rodinia; Cache Sufficient).
+
+Rodinia's hotspot computes a thermal simulation over a 2-D grid.  The
+CUDA kernel tiles the grid into CTAs and runs several *pyramid*
+iterations per launch: the first iteration pulls the tile's temperature
+and power rows in from global memory, and later iterations re-read the
+shrinking tile borders while the interior lives in shared memory.  The
+model reproduces that as two passes over each warp's rows: the second
+pass re-references lines a full tile-pass later, so observed reuse
+distances sit in the middle/long ranges, while halo rows shared with the
+neighbouring CTA are usually resident on another SM and rarely produce
+observable reuse.  The pyramid arithmetic dominates, keeping the
+memory-access ratio far below 1 % — IPC is insensitive to the L1D
+(Fig. 5).
+
+Scaling: paper input 512x512; model uses 48 CTAs x 16-row tiles with 2
+pyramid iterations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpu.isa import compute, load, store
+from repro.gpu.kernel import Kernel
+from repro.workloads.base import LINE, Workload, WorkloadMeta
+
+_PC_TEMP_LOAD = 0x200
+_PC_POWER_LOAD = 0x208
+_PC_BORDER_RELOAD = 0x210  # pyramid pass 2: border rows re-read
+_PC_HALO_LOAD = 0x228
+_PC_TEMP_STORE = 0x218
+
+
+class Hotspot(Workload):
+    meta = WorkloadMeta(
+        name="Hotspot",
+        abbr="HS",
+        suite="Rodinia",
+        paper_type="CS",
+        paper_input="512x512",
+        scaled_input="48 CTAs x 16-row tiles, 2 pyramid iterations",
+    )
+
+    def __init__(self, scale: float = 1.0):
+        super().__init__(scale)
+        self.num_ctas = max(8, int(48 * scale))
+        self.warps_per_cta = 8       # one warp per pair of tile rows
+        self.rows_per_warp = 2
+        self.pyramid_iters = 2
+        self.row_lines = 2           # 64 floats per tile row
+
+    def build_kernels(self) -> List[Kernel]:
+        tile_rows = self.warps_per_cta * self.rows_per_warp
+        tile_bytes = tile_rows * self.row_lines * LINE
+        temp_base = self.addr.region("temperature", self.num_ctas * tile_bytes)
+        power_base = self.addr.region("power", self.num_ctas * tile_bytes)
+        out_base = self.addr.region("temp_out", self.num_ctas * tile_bytes)
+        row_bytes = self.row_lines * LINE
+
+        def trace(cta: int, w: int):
+            tile_temp = temp_base + cta * tile_bytes
+            tile_power = power_base + cta * tile_bytes
+            tile_out = out_base + cta * tile_bytes
+            rows = [w * self.rows_per_warp + r for r in range(self.rows_per_warp)]
+            # pyramid pass 1: pull the tile in
+            for row in rows:
+                for seg in range(self.row_lines):
+                    off = row * row_bytes + seg * LINE
+                    yield load(_PC_TEMP_LOAD, self.coalesced(tile_temp + off))
+                    yield load(_PC_POWER_LOAD, self.coalesced(tile_power + off))
+                    yield compute(12)
+            # halo row below the tile (owned by cta+1, usually another SM)
+            if w == self.warps_per_cta - 1 and cta + 1 < self.num_ctas:
+                yield load(_PC_HALO_LOAD, self.coalesced(temp_base + (cta + 1) * tile_bytes))
+            yield compute(40)
+            # pyramid pass 2: border rows come back from global while the
+            # interior lives in shared memory
+            for it in range(self.pyramid_iters - 1):
+                for row in rows:
+                    off = row * row_bytes
+                    yield load(_PC_BORDER_RELOAD, self.coalesced(tile_temp + off))
+                    yield compute(24)
+            for row in rows:
+                for seg in range(self.row_lines):
+                    off = row * row_bytes + seg * LINE
+                    yield store(_PC_TEMP_STORE, self.coalesced(tile_out + off))
+                    yield compute(10)
+
+        return [Kernel("hs_stencil", self.num_ctas, self.warps_per_cta, trace)]

@@ -1,0 +1,79 @@
+"""KM — K-means (Rodinia; Cache Insufficient).
+
+Rodinia's K-means assignment kernel computes each point's distance to
+every centroid.  With more centroids than registers can hold, the k loop
+re-reads the point's feature lines once per centroid chunk — so each
+warp's four private feature lines are re-referenced throughout the
+centroid sweep, but with 48 warps resident the per-set distance between
+those re-references lands just beyond the 4-way associativity: the
+baseline evicts them between chunks (thrash), the VTA observes the loss,
+and a protection distance in the 8~12 range repairs it.  The centroid
+table itself is shared by every warp and stays warm, while the
+point stream advances monotonically (compulsory) — three PCs with three
+very different reuse profiles, which is the per-instruction-PD story.
+
+Scaling: paper input 204800 points; model assigns 9216 points to 64
+centroids in 8 chunks over 4 features.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpu.isa import compute, load, store
+from repro.gpu.kernel import Kernel
+from repro.workloads.base import LINE, Workload, WorkloadMeta
+
+_PC_FEATURE = 0x1100   # point features: revisited once per centroid chunk
+_PC_CENTROID = 0x1108  # centroid table (shared, warm)
+_PC_ASSIGN = 0x1110
+
+
+class Kmeans(Workload):
+    meta = WorkloadMeta(
+        name="K-means",
+        abbr="KM",
+        suite="Rodinia",
+        paper_type="CI",
+        paper_input="204800",
+        scaled_input="6912 points, 64 centroids in 8 chunks, 6 features",
+    )
+
+    def __init__(self, scale: float = 1.0):
+        super().__init__(scale)
+        self.num_ctas = 16
+        self.warps_per_cta = 12
+        self.points_per_warp = max(2, int(6 * scale))  # 32-point blocks
+        self.centroid_chunks = 8
+        self.num_features = 6
+
+    def build_kernels(self) -> List[Kernel]:
+        total_warps = self.num_ctas * self.warps_per_cta
+        total_points = total_warps * self.points_per_warp * 32
+        feats = self.addr.region("features", total_points * self.num_features * 4)
+        cents = self.addr.region(
+            "centroids", self.centroid_chunks * self.num_features * LINE
+        )
+        assign = self.addr.region("assignment", total_points * 4)
+
+        def trace(cta: int, w: int):
+            warp_index = cta * self.warps_per_cta + w
+            for p in range(self.points_per_warp):
+                point_block = warp_index * self.points_per_warp + p
+                for k in range(self.centroid_chunks):
+                    # chunk k's centroid block: shared by every warp, warm
+                    yield load(
+                        _PC_CENTROID,
+                        self.broadcast(cents + k * self.num_features * LINE),
+                    )
+                    for f in range(self.num_features):
+                        # feature f of the warp's 32 points: private lines
+                        # re-read once per centroid chunk
+                        addr = feats + (f * total_points + point_block * 32) * 4
+                        yield load(_PC_FEATURE, self.coalesced(addr))
+                        yield compute(2)  # 8 distance partials
+                    yield compute(2)
+                yield compute(4)  # argmin reduction over 64 distances
+                yield store(_PC_ASSIGN, self.coalesced(assign + point_block * 32 * 4))
+
+        return [Kernel("km_assign", self.num_ctas, self.warps_per_cta, trace)]

@@ -1,0 +1,74 @@
+"""MM — Matrix Multiplication (Mars; Cache Insufficient).
+
+Mars' MapReduce matrix multiply is the *naive* (untiled) kernel: thread
+(i, j) accumulates ``sum_k A[i,k] * B[k,j]`` straight from global
+memory.  A warp covers 32 consecutive j for a fixed i, so per k-step it
+issues one broadcast A element (whose line serves 32 consecutive k —
+reuse at distance 1~4) and one coalesced B row segment (re-referenced by
+every other i-warp sweeping the same k — distances spread across the
+5~8, 9~64 and >65 ranges as warps drift apart).  The result is the
+across-all-ranges RDD the paper reports for MM in Fig. 3
+(19.5/35.8/33.2/11.5 %), and two PCs with very different profiles —
+fertile ground for per-instruction PDs.
+
+Scaling: paper input 256x256; model multiplies 64x64 x 64x64 in
+j-blocks of 32.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpu.isa import compute, load, store
+from repro.gpu.kernel import Kernel
+from repro.workloads.base import LINE, Workload, WorkloadMeta
+
+_PC_A = 0xE00   # A[i,k] broadcast (short intra-warp reuse)
+_PC_B = 0xE08   # B[k, j..j+31] (cyclic cross-warp reuse)
+_PC_C = 0xE10
+
+
+class MatMul(Workload):
+    meta = WorkloadMeta(
+        name="Matrix Multiplication",
+        abbr="MM",
+        suite="Mars",
+        paper_type="CI",
+        paper_input="256x256",
+        scaled_input="128x128 naive multiply, warp-per-32-columns",
+    )
+
+    def __init__(self, scale: float = 1.0):
+        super().__init__(scale)
+        self.n = max(32, int(128 * scale))     # square matrix dimension
+        self.warps_per_cta = 8
+
+    def build_kernels(self) -> List[Kernel]:
+        n = self.n
+        j_blocks = n // 32
+        row_bytes = n * 4
+        a = self.addr.region("A", n * row_bytes)
+        b = self.addr.region("B", n * row_bytes)
+        c = self.addr.region("C", n * row_bytes)
+        num_warps = n * j_blocks           # one warp per (i, j-block)
+        num_ctas = max(1, num_warps // self.warps_per_cta)
+
+        def trace(cta: int, w: int):
+            warp_index = cta * self.warps_per_cta + w
+            i, jb = divmod(warp_index, j_blocks)
+            # each warp starts its k loop at a different point (the sum
+            # is order-independent); this models the drift GTO scheduling
+            # induces between warps and spreads B-row reuse distances
+            # across the ranges, as Fig. 3 reports for MM
+            k0 = (warp_index * 37) % n
+            for kk in range(n):
+                k = (k0 + kk) % n
+                if kk % 32 == 0:
+                    # A[i, k..k+31] line: consumed over the next 32 steps
+                    yield load(_PC_A, self.broadcast(a + i * row_bytes + k * 4))
+                yield load(_PC_B, self.coalesced(b + k * row_bytes + jb * 32 * 4))
+                yield compute(2)  # FMA + loop bookkeeping
+            yield compute(4)
+            yield store(_PC_C, self.coalesced(c + i * row_bytes + jb * 32 * 4))
+
+        return [Kernel("mm_naive", num_ctas, self.warps_per_cta, trace)]

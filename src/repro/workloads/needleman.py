@@ -1,0 +1,93 @@
+"""NW — Needleman-Wunsch (Rodinia; Cache Sufficient).
+
+Dynamic-programming sequence alignment processed in anti-diagonal
+wavefronts: each kernel launch handles one diagonal of tiles, and a tile
+reads its left/top boundary (produced by the previous diagonal, so
+re-referenced at moderate distance), the reference-matrix tile
+(compulsory) and writes its own boundary.  Parallelism is limited by the
+diagonal width — few CTAs are resident, memory is a small fraction of
+the run, and IPC barely reacts to the L1D (Fig. 5: NW gains little from
+larger caches).
+
+Scaling: paper input 1024x1024; model uses a 12x12 tile grid
+(23 diagonal kernel launches).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpu.isa import compute, load, store
+from repro.gpu.kernel import Kernel
+from repro.workloads.base import LINE, Workload, WorkloadMeta
+
+_PC_LEFT = 0x700     # left boundary column (previous diagonal's output)
+_PC_TOP = 0x708      # top boundary row
+_PC_REF = 0x710      # reference similarity matrix (streaming)
+_PC_STORE = 0x718
+
+
+class NeedlemanWunsch(Workload):
+    meta = WorkloadMeta(
+        name="Needleman-Wunsch",
+        abbr="NW",
+        suite="Rodinia",
+        paper_type="CS",
+        paper_input="1024x1024",
+        scaled_input="12x12 tile wavefront, 2-line tile boundaries",
+    )
+
+    def __init__(self, scale: float = 1.0):
+        super().__init__(scale)
+        self.tiles = max(4, int(12 * scale))
+        self.boundary_lines = 2
+        self.warps_per_cta = 4
+        self.inner_steps = 8   # wavefront steps inside one tile
+
+    def build_kernels(self) -> List[Kernel]:
+        t = self.tiles
+        tile_bytes = self.boundary_lines * LINE
+        bounds = self.addr.region("boundaries", t * t * tile_bytes * 2)
+        ref = self.addr.region("reference", t * t * self.inner_steps * LINE)
+
+        def make_trace(diag: int, tiles_on_diag: List[tuple]):
+            def trace(cta: int, w: int):
+                ti, tj = tiles_on_diag[cta]
+                tile_id = ti * t + tj
+                left = bounds + tile_id * tile_bytes * 2
+                top = left + tile_bytes
+                my_ref = ref + tile_id * self.inner_steps * LINE
+                for step in range(self.inner_steps):
+                    if w == 0:
+                        seg = step % self.boundary_lines
+                        yield load(_PC_LEFT, self.coalesced(left + seg * LINE))
+                        yield load(_PC_TOP, self.coalesced(top + seg * LINE))
+                    yield load(_PC_REF, self.coalesced(my_ref + step * LINE))
+                    # max/compare chain per DP cell
+                    yield compute(10)
+                if w == 0:
+                    # publish boundary for the next diagonal's neighbours
+                    for nbr in ((ti + 1, tj), (ti, tj + 1)):
+                        ni, nj = nbr
+                        if ni < t and nj < t:
+                            nid = ni * t + nj
+                            dest = bounds + nid * tile_bytes * 2
+                            yield store(_PC_STORE, self.coalesced(dest))
+                yield compute(6)
+
+            return trace
+
+        kernels = []
+        for diag in range(2 * t - 1):
+            tiles_on_diag = [
+                (i, diag - i) for i in range(t) if 0 <= diag - i < t
+            ]
+            kernels.append(
+                Kernel(
+                    f"nw_diag{diag}",
+                    len(tiles_on_diag),
+                    self.warps_per_cta,
+                    make_trace(diag, tiles_on_diag),
+                )
+            )
+        return kernels

@@ -1,0 +1,102 @@
+"""PVR — Page View Rank (Mars MapReduce; Cache Insufficient).
+
+Mars' PageViewRank is a two-phase MapReduce over a web log:
+
+* **map** — scan log records (compulsory stream) and probe the page
+  table for each URL.  Page popularity is Zipf-skewed, so a small head
+  stays warm while the tail thrashes — the lookups DLP learns to bypass
+  (the paper notes DLP captures *fewer* raw hits than baseline on PVR
+  yet still wins, Section 6.3.2).
+* **reduce** — each warp owns a bucket of pages and aggregates its
+  emitted pairs: it streams its emit list while re-reading its private
+  accumulator lines once per chunk.  48 resident warps x 4 accumulator
+  lines put the per-SM working set past the L1D with re-reference
+  distances in the protectable band.
+
+Scaling: paper input 250000 log records; model maps 6912 records over a
+320-page table, then reduces 192 four-line buckets.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.gpu.isa import compute, load, store
+from repro.gpu.kernel import Kernel
+from repro.workloads.base import LINE, Workload, WorkloadMeta
+
+_PC_LOG = 0xB00        # map: streaming log records
+_PC_RANK = 0xB08       # map: page table lookup (Zipf, divergent)
+_PC_EMIT = 0xB18       # map: emitted pairs
+_PC_RLIST = 0xB20      # reduce: emit-list stream
+_PC_ACCUM_LD = 0xB28   # reduce: private accumulator re-reads
+_PC_ACCUM_ST = 0xB30   # reduce: accumulator writeback
+
+
+class PageViewRank(Workload):
+    meta = WorkloadMeta(
+        name="Page View Rank",
+        abbr="PVR",
+        suite="Mars",
+        paper_type="CI",
+        paper_input="250000",
+        scaled_input="6912 records, 320-page Zipf table, 2-phase MapReduce",
+    )
+
+    def __init__(self, scale: float = 1.0):
+        super().__init__(scale)
+        self.num_ctas = 16
+        self.warps_per_cta = 12
+        self.records_per_warp = max(8, int(36 * scale))
+        self.table_lines = 320
+        self.pages_per_record = 4   # divergent lanes per lookup
+        self.reduce_chunks = max(4, int(16 * scale))
+        self.accum_lines = 4        # per-warp accumulator bucket
+
+    def build_kernels(self) -> List[Kernel]:
+        total_warps = self.num_ctas * self.warps_per_cta
+        log_base = self.addr.region("log", total_warps * self.records_per_warp * LINE)
+        table = self.addr.region("rank_table", self.table_lines * LINE)
+        emits = self.addr.region("emits", total_warps * self.reduce_chunks * LINE)
+        accums = self.addr.region("accums", total_warps * self.accum_lines * LINE)
+        rng = self.rng
+
+        def map_trace(cta: int, w: int):
+            warp_index = cta * self.warps_per_cta + w
+            my_log = log_base + warp_index * self.records_per_warp * LINE
+            pages = rng.zipf_indices(
+                self.table_lines,
+                self.records_per_warp * self.pages_per_record,
+                exponent=1.0,
+            )
+            for r in range(self.records_per_warp):
+                yield load(_PC_LOG, self.coalesced(my_log + r * LINE))
+                yield compute(4)  # parse the record
+                chunk = pages[r * self.pages_per_record:(r + 1) * self.pages_per_record]
+                addrs = table + np.repeat(chunk, 8)[:32] * LINE
+                yield load(_PC_RANK, addrs)
+                yield compute(3)
+                if r % 4 == 3:
+                    yield store(_PC_EMIT, self.coalesced(emits + warp_index * LINE))
+                yield compute(2)
+
+        def reduce_trace(cta: int, w: int):
+            warp_index = cta * self.warps_per_cta + w
+            my_emits = emits + warp_index * self.reduce_chunks * LINE
+            my_accum = accums + warp_index * self.accum_lines * LINE
+            for chunk in range(self.reduce_chunks):
+                yield load(_PC_RLIST, self.coalesced(my_emits + chunk * LINE))
+                yield compute(2)
+                for a in range(self.accum_lines):
+                    # private bucket lines re-read once per emit chunk
+                    yield load(_PC_ACCUM_LD, self.coalesced(my_accum + a * LINE))
+                    yield compute(2)
+                yield compute(2)
+            yield store(_PC_ACCUM_ST, self.coalesced(my_accum))
+
+        return [
+            Kernel("pvr_map", self.num_ctas, self.warps_per_cta, map_trace),
+            Kernel("pvr_reduce", self.num_ctas, self.warps_per_cta, reduce_trace),
+        ]

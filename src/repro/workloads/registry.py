@@ -1,0 +1,83 @@
+"""Workload registry: Table 2 of the paper.
+
+Maps the paper's benchmark abbreviations to workload classes and
+preserves the paper's ordering, suites and CS/CI classification so the
+figure drivers can reproduce the exact x-axes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.workloads.backprop import BackPropagation
+from repro.workloads.base import Workload
+from repro.workloads.bfs import Bfs
+from repro.workloads.btree import BTree
+from repro.workloads.cfd import Cfd
+from repro.workloads.convolution import SeparableConvolution
+from repro.workloads.gemm import Gemm
+from repro.workloads.histogram import Histogram
+from repro.workloads.hotspot import Hotspot
+from repro.workloads.kmeans import Kmeans
+from repro.workloads.matmul import MatMul
+from repro.workloads.needleman import NeedlemanWunsch
+from repro.workloads.pagerank import PageViewRank
+from repro.workloads.simscore import SimilarityScore
+from repro.workloads.srad import Srad
+from repro.workloads.stencil3d import Stencil3D
+from repro.workloads.stringmatch import StringMatch
+from repro.workloads.syr2k import Syr2k
+from repro.workloads.syrk import Syrk
+
+#: Paper ordering (Figs. 3-6 x-axis): CS block first, then CI block.
+WORKLOADS: Dict[str, Type[Workload]] = {
+    "HG": Histogram,
+    "HS": Hotspot,
+    "STEN": Stencil3D,
+    "SC": SeparableConvolution,
+    "BP": BackPropagation,
+    "SRAD": Srad,
+    "NW": NeedlemanWunsch,
+    "GEMM": Gemm,
+    "BT": BTree,
+    "CFD": Cfd,
+    "PVR": PageViewRank,
+    "SS": SimilarityScore,
+    "BFS": Bfs,
+    "MM": MatMul,
+    "SRK": Syrk,
+    "SR2K": Syr2k,
+    "KM": Kmeans,
+    "STR": StringMatch,
+}
+
+CS_APPS: List[str] = [a for a, w in WORKLOADS.items() if w.meta.paper_type == "CS"]
+CI_APPS: List[str] = [a for a, w in WORKLOADS.items() if w.meta.paper_type == "CI"]
+ALL_APPS: List[str] = list(WORKLOADS)
+
+
+def make_workload(abbr: str, scale: float = 1.0) -> Workload:
+    """Instantiate a Table 2 benchmark model by its abbreviation."""
+    key = abbr.upper()
+    try:
+        cls = WORKLOADS[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {abbr!r}; expected one of {ALL_APPS}"
+        ) from None
+    return cls(scale=scale)
+
+
+def table2_rows():
+    """(name, abbr, suite, type, paper input, scaled input) rows."""
+    return [
+        (
+            cls.meta.name,
+            abbr,
+            cls.meta.suite,
+            cls.meta.paper_type,
+            cls.meta.paper_input,
+            cls.meta.scaled_input,
+        )
+        for abbr, cls in WORKLOADS.items()
+    ]

@@ -1,0 +1,71 @@
+"""SS — Similarity Score (Mars MapReduce; Cache Insufficient).
+
+Mars' SimilarityScore computes pairwise cosine similarities between
+document feature vectors.  A warp owns document *i* and sweeps partner
+documents *j* over the shared corpus: vector *i* is re-read every pair
+(short distance) while the *j* vectors cycle through a corpus block
+larger than the cache (cyclic medium-distance reuse — the
+LRU-pathological pattern protection repairs).  The two load PCs have
+sharply different reuse profiles, which is where per-instruction PDs
+pay off over a single global PD.
+
+Scaling: paper input 512x128; model uses 96 documents x 4-line vectors,
+48 partner sweeps per warp.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpu.isa import compute, load, store
+from repro.gpu.kernel import Kernel
+from repro.workloads.base import LINE, Workload, WorkloadMeta
+
+_PC_DOC_I = 0xC00   # own document vector (hot per warp)
+_PC_DOC_J = 0xC08   # partner vectors (cyclic over the corpus)
+_PC_SCORE = 0xC10
+
+
+class SimilarityScore(Workload):
+    meta = WorkloadMeta(
+        name="Similarity Score",
+        abbr="SS",
+        suite="Mars",
+        paper_type="CI",
+        paper_input="512x128",
+        scaled_input="256 docs x 4-line vectors, 48 pairs/warp",
+    )
+
+    def __init__(self, scale: float = 1.0):
+        super().__init__(scale)
+        self.num_ctas = 16
+        self.warps_per_cta = 12
+        self.num_docs = 256   # corpus ~8x the L1D: partner sweep thrashes
+        self.vec_lines = 4
+        self.pairs_per_warp = max(8, int(48 * scale))
+
+    def build_kernels(self) -> List[Kernel]:
+        corpus = self.addr.region("corpus", self.num_docs * self.vec_lines * LINE)
+        scores = self.addr.region(
+            "scores", self.num_ctas * self.warps_per_cta * self.pairs_per_warp * 4
+        )
+        vec_bytes = self.vec_lines * LINE
+
+        def trace(cta: int, w: int):
+            warp_index = cta * self.warps_per_cta + w
+            doc_i = corpus + (warp_index % self.num_docs) * vec_bytes
+            start_j = (warp_index * 17) % self.num_docs
+            for p in range(self.pairs_per_warp):
+                doc_j = corpus + ((start_j + p) % self.num_docs) * vec_bytes
+                for seg in range(self.vec_lines):
+                    yield load(_PC_DOC_I, self.coalesced(doc_i + seg * LINE))
+                    yield load(_PC_DOC_J, self.coalesced(doc_j + seg * LINE))
+                    yield compute(3)  # dot-product partial
+                yield compute(5)  # normalisation
+                if p % 8 == 7:
+                    yield store(
+                        _PC_SCORE,
+                        self.coalesced(scores + warp_index * self.pairs_per_warp * 4),
+                    )
+
+        return [Kernel("ss_pairs", self.num_ctas, self.warps_per_cta, trace)]

@@ -1,0 +1,75 @@
+"""SRAD — Speckle Reducing Anisotropic Diffusion (Rodinia; CS).
+
+An image-diffusion stencil over a 2-D grid without shared-memory
+tiling: for every pixel row the kernel reads the row itself plus its
+north/south neighbours and the diffusion-coefficient row.  Neighbour
+rows are the centre rows of adjacent warps, so they are re-referenced at
+short distances and the baseline hit rate is comparatively *high* —
+which is precisely why Stall-Bypass hurts SRAD in the paper (it bypasses
+accesses that would have hit, Section 6.1.1: -11 % IPC).
+
+Scaling: paper input 512x512; model runs 2 diffusion iterations over a
+96-row x 8-line image strip.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpu.isa import compute, load, store
+from repro.gpu.kernel import Kernel
+from repro.workloads.base import LINE, Workload, WorkloadMeta
+
+_PC_CENTER = 0x600
+_PC_NORTH = 0x608
+_PC_SOUTH = 0x610
+_PC_COEFF = 0x618
+_PC_STORE = 0x620
+
+
+class Srad(Workload):
+    meta = WorkloadMeta(
+        name="Speckle Reducing Anisotropic Diffusion",
+        abbr="SRAD",
+        suite="Rodinia",
+        paper_type="CS",
+        paper_input="512x512",
+        scaled_input="96x8-line strip, 2 diffusion iterations",
+    )
+
+    def __init__(self, scale: float = 1.0):
+        super().__init__(scale)
+        self.rows = 96
+        self.lines_per_row = 8
+        self.iterations = max(1, int(2 * scale))
+        self.warps_per_cta = 8
+        self.num_ctas = self.rows // self.warps_per_cta
+
+    def build_kernels(self) -> List[Kernel]:
+        row_bytes = self.lines_per_row * LINE
+        image = self.addr.region("image", self.rows * row_bytes)
+        coeff = self.addr.region("diff_coeff", self.rows * row_bytes)
+
+        def make_trace(iteration: int):
+            def trace(cta: int, w: int):
+                row = cta * self.warps_per_cta + w
+                my_row = image + row * row_bytes
+                for seg in range(self.lines_per_row):
+                    off = seg * LINE
+                    yield load(_PC_CENTER, self.coalesced(my_row + off))
+                    if row > 0:
+                        yield load(_PC_NORTH, self.coalesced(my_row - row_bytes + off))
+                    if row < self.rows - 1:
+                        yield load(_PC_SOUTH, self.coalesced(my_row + row_bytes + off))
+                    yield load(_PC_COEFF, self.coalesced(coeff + row * row_bytes + off))
+                    # divergence/gradient computation per pixel
+                    yield compute(16)
+                    yield store(_PC_STORE, self.coalesced(my_row + off))
+                    yield compute(6)
+
+            return trace
+
+        return [
+            Kernel(f"srad_iter{i}", self.num_ctas, self.warps_per_cta, make_trace(i))
+            for i in range(self.iterations)
+        ]

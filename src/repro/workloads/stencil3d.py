@@ -1,0 +1,76 @@
+"""STEN — 3-D Stencil (Parboil; Cache Sufficient).
+
+Parboil's 7-point 3-D Jacobi stencil sweeps the volume plane by plane.
+The kernel reads each plane when it first enters the stencil window
+(as the z+1 plane) and the update pass touches it again after the window
+has moved past — by then an entire plane's worth of other accesses has
+gone through each cache set, so the observed reuse distances are long
+(Fig. 3: STEN is dominated by the top ranges).  The model reproduces
+that with a read sweep followed by an update re-read sweep per warp.
+
+Scaling: paper input 512x512x64; model uses a 64x64 plane over 40
+z-steps.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpu.isa import compute, load, store
+from repro.gpu.kernel import Kernel
+from repro.workloads.base import LINE, Workload, WorkloadMeta
+
+_PC_FRONT = 0x300    # stencil window advance: first read of plane z+1
+_PC_UPDATE = 0x308   # update pass: re-read after the full sweep
+_PC_STORE = 0x318
+
+
+class Stencil3D(Workload):
+    meta = WorkloadMeta(
+        name="3-D Stencil Operation",
+        abbr="STEN",
+        suite="Parboil",
+        paper_type="CS",
+        paper_input="512x512x64",
+        scaled_input="64x64 plane, 40 z-steps, read + update sweeps",
+    )
+
+    def __init__(self, scale: float = 1.0):
+        super().__init__(scale)
+        self.rows = 64               # y extent
+        self.row_lines = 2           # 64 floats per row
+        self.z_steps = max(4, int(40 * scale))
+        self.warps_per_cta = 8       # each warp owns one row of the plane
+        self.num_ctas = self.rows // self.warps_per_cta * 2  # x-split in two
+
+    def build_kernels(self) -> List[Kernel]:
+        plane_bytes = self.rows * self.row_lines * LINE * 2  # both x halves
+        vol_base = self.addr.region("volume", plane_bytes * (self.z_steps + 2))
+        out_base = self.addr.region("out", plane_bytes * self.z_steps)
+        row_bytes = self.row_lines * LINE
+
+        def trace(cta: int, w: int):
+            half = cta % 2
+            row = (cta // 2) * self.warps_per_cta + w
+            x_off = half * self.rows * row_bytes
+            my_row_off = x_off + row * row_bytes
+            # sweep 1: the stencil window marches in +z, pulling each new
+            # plane's row once (register/shared memory carry the window)
+            for z in range(self.z_steps):
+                plane = vol_base + (z + 1) * plane_bytes
+                for seg in range(self.row_lines):
+                    yield load(_PC_FRONT, self.coalesced(plane + my_row_off + seg * LINE))
+                    yield compute(14)
+            yield compute(20)
+            # sweep 2: the update pass re-reads each plane's row a full
+            # sweep later and writes the result
+            for z in range(self.z_steps):
+                plane = vol_base + (z + 1) * plane_bytes
+                for seg in range(self.row_lines):
+                    yield load(_PC_UPDATE, self.coalesced(plane + my_row_off + seg * LINE))
+                    yield compute(10)
+                out_row = out_base + z * plane_bytes + my_row_off
+                yield store(_PC_STORE, self.coalesced(out_row))
+                yield compute(6)
+
+        return [Kernel("sten_sweeps", self.num_ctas, self.warps_per_cta, trace)]

@@ -1,0 +1,80 @@
+"""STR — String Match (Mars; Cache Insufficient).
+
+Mars' StringMatch greps a keyword set over a text corpus.  The GPU
+kernel gives each warp a text block and loops over keyword chunks,
+re-scanning the block once per chunk: the warp's private text lines are
+re-referenced once per keyword chunk, but with 48 resident warps the
+per-SM text footprint (~192 lines) exceeds the L1D, so the baseline
+evicts the block between scans while the VTA sees every lost reuse —
+the protectable pattern.  Keyword loads probe a Zipf-skewed dictionary
+with lane divergence, making STR the most request-dense benchmark (the
+rightmost bar of the paper's Fig. 6).
+
+Scaling: paper input 354984 (bundled text); model scans 4-line text
+blocks against 12 chunks of a 2048-word dictionary.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.gpu.isa import compute, load, store
+from repro.gpu.kernel import Kernel
+from repro.workloads.base import LINE, Workload, WorkloadMeta
+
+_PC_TEXT = 0x1200    # private text block, re-scanned per keyword chunk
+_PC_DICT = 0x1208    # keyword dictionary probes (Zipf, divergent)
+_PC_MATCH = 0x1210
+
+
+class StringMatch(Workload):
+    meta = WorkloadMeta(
+        name="String Match",
+        abbr="STR",
+        suite="Mars",
+        paper_type="CI",
+        paper_input="354984",
+        scaled_input="4-line text blocks x 12 keyword chunks, 2048 words",
+    )
+
+    def __init__(self, scale: float = 1.0):
+        super().__init__(scale)
+        self.num_ctas = 16
+        self.warps_per_cta = 12
+        self.text_lines = 3              # private block per warp
+        self.keyword_chunks = max(4, int(16 * scale))
+        self.dict_words = 4096           # 32 B per word -> 512 lines
+
+    def build_kernels(self) -> List[Kernel]:
+        total_warps = self.num_ctas * self.warps_per_cta
+        text = self.addr.region("text", total_warps * self.text_lines * LINE)
+        dict_base = self.addr.region("dictionary", self.dict_words * 32)
+        matches = self.addr.region("matches", total_warps * 64)
+        rng = self.rng
+
+        def trace(cta: int, w: int):
+            warp_index = cta * self.warps_per_cta + w
+            my_text = text + warp_index * self.text_lines * LINE
+            words = rng.zipf_indices(
+                self.dict_words,
+                self.keyword_chunks * self.text_lines * 8,
+                exponent=0.75,
+            )
+            idx = 0
+            for k in range(self.keyword_chunks):
+                for t in range(self.text_lines):
+                    # re-scan the private text block for this chunk's words
+                    yield load(_PC_TEXT, self.coalesced(my_text + t * LINE))
+                    yield compute(2)  # tokenise / compare window
+                    chunk = words[idx:idx + 8]
+                    idx += 8
+                    addrs = dict_base + np.repeat(chunk, 4)[:32] * 32
+                    yield load(_PC_DICT, addrs)
+                    yield compute(2)  # strcmp-ish
+                yield compute(2)
+                if k % 4 == 3:
+                    yield store(_PC_MATCH, self.coalesced(matches + warp_index * 64, elem_bytes=2))
+
+        return [Kernel("str_match", self.num_ctas, self.warps_per_cta, trace)]

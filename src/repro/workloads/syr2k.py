@@ -1,0 +1,74 @@
+"""SR2K — Symmetric Rank-2k update (Polybench; Cache Insufficient).
+
+``C = alpha*(A*B^T + B*A^T) + beta*C``: like SYRK but sweeping *two*
+matrices, doubling the cyclic working set (A rows + B rows).  The
+per-SM footprint lands around 3x the 16 KB L1D — far enough past
+capacity that even the 32 KB cache cannot hold it, which is why the
+paper's Fig. 10 shows Global-Protection and DLP *beating* the 32 KB
+configuration on SR2K: protected lines retain locality for longer than
+8-way LRU can.
+
+Scaling: paper input 256x256; model uses 96 rows x 2 lines per matrix.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpu.isa import compute, load, store
+from repro.gpu.kernel import Kernel
+from repro.workloads.base import LINE, Workload, WorkloadMeta
+
+_PC_A_OWN = 0x1000
+_PC_B_OTHER = 0x1008   # B[j,:] sweep
+_PC_B_OWN = 0x1010
+_PC_A_OTHER = 0x1018   # A[j,:] sweep
+_PC_C_LD = 0x1020
+_PC_C_ST = 0x1028
+
+
+class Syr2k(Workload):
+    meta = WorkloadMeta(
+        name="Symmetric Rank-2k",
+        abbr="SR2K",
+        suite="Polybench",
+        paper_type="CI",
+        paper_input="256x256",
+        scaled_input="144-row x 2-line A and B, rank-2k sweep",
+    )
+
+    def __init__(self, scale: float = 1.0):
+        super().__init__(scale)
+        self.rows = max(32, int(144 * scale))
+        self.row_lines = 2
+        self.warps_per_cta = 12
+
+    def build_kernels(self) -> List[Kernel]:
+        row_bytes = self.row_lines * LINE
+        a = self.addr.region("A", self.rows * row_bytes)
+        b = self.addr.region("B", self.rows * row_bytes)
+        c = self.addr.region("C", self.rows * row_bytes)
+        num_ctas = max(1, self.rows // self.warps_per_cta)
+
+        def trace(cta: int, w: int):
+            i = (cta * self.warps_per_cta + w) % self.rows
+            yield load(_PC_C_LD, self.coalesced(c + i * row_bytes))
+            # own rows of A and B: loaded once, register-resident across
+            # the sweep (as in the unrolled Polybench kernel)
+            for seg in range(self.row_lines):
+                yield load(_PC_A_OWN, self.coalesced(a + i * row_bytes + seg * LINE))
+                yield load(_PC_B_OWN, self.coalesced(b + i * row_bytes + seg * LINE))
+            yield compute(4)
+            start = (i * 31) % self.rows
+            for jj in range(self.rows):
+                j = (start + jj) % self.rows
+                for seg in range(self.row_lines):
+                    off = seg * LINE
+                    yield load(_PC_B_OTHER, self.coalesced(b + j * row_bytes + off))
+                    yield compute(2)
+                    yield load(_PC_A_OTHER, self.coalesced(a + j * row_bytes + off))
+                    yield compute(2)
+            yield compute(4)
+            yield store(_PC_C_ST, self.coalesced(c + i * row_bytes))
+
+        return [Kernel("syr2k", num_ctas, self.warps_per_cta, trace)]

@@ -1,0 +1,70 @@
+"""SRK — Symmetric Rank-k update (Polybench; Cache Insufficient).
+
+Polybench's SYRK computes ``C = alpha*A*A^T + beta*C`` untiled: thread
+(i, j) walks ``sum_k A[i,k] * A[j,k]``.  A warp (fixed i, 32 consecutive
+j... transposed here to the Polybench GPU layout: fixed i-row, j block)
+re-reads its own A row at short distances while sweeping the *other*
+rows of A cyclically — with the row working set about twice the L1D, the
+sweep is the LRU-pathological cyclic pattern where lines protected for a
+handful of set queries convert misses into hits.
+
+Scaling: paper input 256x256; model uses an 80x128 A matrix
+(80 rows x 2 lines).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpu.isa import compute, load, store
+from repro.gpu.kernel import Kernel
+from repro.workloads.base import LINE, Workload, WorkloadMeta
+
+_PC_A_OWN = 0xF00   # A[i, :] — own row (hot)
+_PC_A_OTHER = 0xF08  # A[j, :] — cyclic sweep over all rows
+_PC_C_LD = 0xF10
+_PC_C_ST = 0xF18
+
+
+class Syrk(Workload):
+    meta = WorkloadMeta(
+        name="Symmetric Rank-k",
+        abbr="SRK",
+        suite="Polybench",
+        paper_type="CI",
+        paper_input="256x256",
+        scaled_input="192-row x 2-line A, full rank-k sweep",
+    )
+
+    def __init__(self, scale: float = 1.0):
+        super().__init__(scale)
+        self.rows = max(32, int(192 * scale))
+        self.row_lines = 2
+        self.warps_per_cta = 10
+
+    def build_kernels(self) -> List[Kernel]:
+        row_bytes = self.row_lines * LINE
+        a = self.addr.region("A", self.rows * row_bytes)
+        c = self.addr.region("C", self.rows * row_bytes)
+        num_ctas = max(1, self.rows // self.warps_per_cta)
+
+        def trace(cta: int, w: int):
+            i = (cta * self.warps_per_cta + w) % self.rows
+            my_row = a + i * row_bytes
+            yield load(_PC_C_LD, self.coalesced(c + i * row_bytes))
+            # own row: loaded once, then carried in registers across the
+            # whole j sweep (the unrolled Polybench kernel does exactly
+            # this for the thread's own operand)
+            for seg in range(self.row_lines):
+                yield load(_PC_A_OWN, self.coalesced(my_row + seg * LINE))
+            yield compute(4)
+            start = (i * 29) % self.rows
+            for jj in range(self.rows):
+                j = (start + jj) % self.rows
+                for seg in range(self.row_lines):
+                    yield load(_PC_A_OTHER, self.coalesced(a + j * row_bytes + seg * LINE))
+                    yield compute(2)
+            yield compute(4)
+            yield store(_PC_C_ST, self.coalesced(c + i * row_bytes))
+
+        return [Kernel("syrk", num_ctas, self.warps_per_cta, trace)]

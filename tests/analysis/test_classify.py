@@ -1,0 +1,39 @@
+"""CS/CI classification by memory-access ratio (Section 3.2)."""
+
+from repro.analysis.classify import (
+    MEMORY_ACCESS_RATIO_THRESHOLD,
+    classify_all,
+    classify_ratio,
+    classify_workload,
+)
+
+
+class TestThreshold:
+    def test_paper_threshold_is_one_percent(self):
+        assert MEMORY_ACCESS_RATIO_THRESHOLD == 0.01
+
+    def test_classify_ratio(self):
+        assert classify_ratio(0.005) == "CS"
+        assert classify_ratio(0.02) == "CI"
+        assert classify_ratio(0.01) == "CI"  # boundary inclusive
+
+
+class TestWorkloadClassification:
+    def test_single_app(self):
+        c = classify_workload("GEMM")
+        assert c.abbr == "GEMM"
+        assert c.paper_type == "CS"
+        assert 0 < c.mem_access_ratio < 0.01
+        assert c.matches_paper
+
+    def test_all_match_table2(self):
+        rows = classify_all()
+        assert len(rows) == 18
+        mismatches = [c.abbr for c in rows if not c.matches_paper]
+        assert not mismatches, f"classification mismatches: {mismatches}"
+
+    def test_ci_apps_have_higher_ratios_than_cs(self):
+        rows = classify_all()
+        max_cs = max(c.mem_access_ratio for c in rows if c.paper_type == "CS")
+        min_ci = min(c.mem_access_ratio for c in rows if c.paper_type == "CI")
+        assert min_ci > max_cs

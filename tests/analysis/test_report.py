@@ -1,0 +1,56 @@
+"""ASCII renderers."""
+
+from repro.analysis.report import (
+    ascii_table,
+    grouped_bars,
+    normalized_summary,
+    stacked_percent_rows,
+)
+
+
+class TestAsciiTable:
+    def test_contains_headers_and_rows(self):
+        out = ascii_table(["a", "b"], [["1", "2"], ["3", "4"]], title="T")
+        assert out.startswith("T\n")
+        assert "a" in out and "4" in out
+
+    def test_column_alignment(self):
+        out = ascii_table(["name", "v"], [["x", "1"], ["longer", "2"]])
+        lines = out.split("\n")
+        assert lines[0].index("v") == lines[-1].index("2")
+
+
+class TestGroupedBars:
+    def test_one_bar_per_series_per_label(self):
+        out = grouped_bars(["app1", "app2"], {"A": [1.0, 2.0], "B": [0.5, 1.5]})
+        assert out.count("|") == 4
+        assert "app1" in out and "B" in out
+
+    def test_values_printed(self):
+        out = grouped_bars(["x"], {"s": [1.23]})
+        assert "1.23" in out
+
+    def test_zero_values_ok(self):
+        out = grouped_bars(["x"], {"s": [0.0]})
+        assert "0.00" in out
+
+
+class TestStackedPercent:
+    def test_percentages_rendered(self):
+        out = stacked_percent_rows(
+            ["APP"], [[0.5, 0.25, 0.25, 0.0]], ["r1", "r2", "r3", "r4"]
+        )
+        assert "50.0%" in out
+        assert "APP" in out
+
+
+class TestNormalizedSummary:
+    def test_rows_and_gmeans(self):
+        out = normalized_summary(
+            {"APP": {"base": 1.0, "dlp": 1.4}},
+            ["base", "dlp"],
+            {"CI": {"base": 1.0, "dlp": 1.44}},
+        )
+        assert "APP" in out
+        assert "G.MEAN CI" in out
+        assert "1.440" in out

@@ -1,0 +1,87 @@
+"""PD telemetry tracker."""
+
+import pytest
+
+from repro.analysis.telemetry import PdTracker
+from repro.cache.l1d import AccessOutcome, L1DCache, MemAccess
+from repro.cache.tagarray import CacheGeometry
+from repro.core import make_policy
+
+
+def run_thrash(policy, cycles=20):
+    cache = L1DCache(
+        CacheGeometry(num_sets=4, assoc=2, index_fn="linear"),
+        policy,
+        send_fn=lambda f: None,
+    )
+    for rep in range(cycles):
+        for b in range(12):  # 3 lines/set cyclic: the VTA-visible regime
+            r = cache.access(MemAccess(block_addr=b, insn_id=1))
+            if r.outcome is AccessOutcome.MISS:
+                cache.drain_miss_queue(8)
+                cache.fill(b, 0)
+    return cache
+
+
+class TestAttachment:
+    def test_records_one_sample_per_window(self):
+        policy = make_policy("dlp", sample_limit=40)
+        tracker = PdTracker.attach_to(policy)
+        run_thrash(policy)
+        assert len(tracker.samples) == policy.sampler.samples_completed
+        assert len(tracker.samples) > 0
+
+    def test_detach_restores_policy(self):
+        policy = make_policy("dlp", sample_limit=40)
+        tracker = PdTracker.attach_to(policy)
+        original = tracker._original_end_sample
+        tracker.detach()
+        assert policy._end_sample is original
+
+    def test_rejects_policies_without_sampling(self):
+        with pytest.raises(TypeError):
+            PdTracker.attach_to(make_policy("baseline"))
+
+    def test_works_with_global_protection(self):
+        policy = make_policy("global_protection", sample_limit=40)
+        tracker = PdTracker.attach_to(policy)
+        run_thrash(policy)
+        assert tracker.samples
+        # GP records a single pseudo-instruction trajectory
+        assert set(tracker.samples[-1].pds) == {0}
+
+
+class TestRecordedDynamics:
+    def test_thrash_shows_increase_path_and_rising_pd(self):
+        policy = make_policy("dlp", sample_limit=40)
+        tracker = PdTracker.attach_to(policy)
+        run_thrash(policy)
+        assert tracker.path_counts()["increase"] > 0
+        trajectory = tracker.trajectory(1)
+        assert max(trajectory) > 0
+
+    def test_paths_match_recorded_hit_counts(self):
+        policy = make_policy("dlp", sample_limit=40)
+        tracker = PdTracker.attach_to(policy)
+        run_thrash(policy)
+        for s in tracker.samples:
+            if s.path == "increase":
+                assert s.global_vta_hits > s.global_tda_hits
+            elif s.path == "decrease":
+                assert 2 * s.global_vta_hits < s.global_tda_hits
+
+    def test_converged_pds(self):
+        policy = make_policy("dlp", sample_limit=40)
+        tracker = PdTracker.attach_to(policy)
+        run_thrash(policy, cycles=40)
+        converged = tracker.converged_pds()
+        assert 1 in converged
+        assert converged[1] > 0
+
+    def test_render_contains_paths(self):
+        policy = make_policy("dlp", sample_limit=40)
+        tracker = PdTracker.attach_to(policy)
+        run_thrash(policy)
+        out = tracker.render()
+        assert "PD evolution" in out
+        assert "sample" in out

@@ -1,0 +1,197 @@
+"""L1D protocol: hit/miss/merge/stall/bypass/write flows (Section 2)."""
+
+import pytest
+
+from repro.cache.l1d import AccessOutcome, L1DCache, MemAccess
+from repro.cache.tagarray import CacheGeometry
+from repro.core.baseline import BaselinePolicy
+from repro.core.policy import StallReason
+from repro.core.stall_bypass import StallBypassPolicy
+
+
+def make_cache(geometry=None, policy=None, **kw):
+    sent = []
+    cache = L1DCache(
+        geometry or CacheGeometry(num_sets=4, assoc=2, index_fn="linear"),
+        policy or BaselinePolicy(),
+        send_fn=sent.append,
+        **kw,
+    )
+    return cache, sent
+
+
+def access(cache, block, **kw):
+    return cache.access(MemAccess(block_addr=block, **kw))
+
+
+class TestLoadFlow:
+    def test_cold_miss_allocates_and_fetches(self):
+        cache, sent = make_cache()
+        result = access(cache, 0x10)
+        assert result.outcome is AccessOutcome.MISS
+        assert cache.stats.misses == 1
+        cache.drain_miss_queue()
+        assert len(sent) == 1 and sent[0].block_addr == 0x10
+
+    def test_fill_then_hit(self):
+        cache, _ = make_cache()
+        access(cache, 0x10)
+        cache.fill(0x10, now=5)
+        result = access(cache, 0x10)
+        assert result.outcome is AccessOutcome.HIT
+        assert cache.stats.hits == 1
+
+    def test_pending_hit_merges(self):
+        cache, _ = make_cache()
+        access(cache, 0x10, waiter="w0")
+        result = access(cache, 0x10, waiter="w1")
+        assert result.outcome is AccessOutcome.HIT_RESERVED
+        waiters = cache.fill(0x10, now=1)
+        assert waiters == ["w0", "w1"]
+
+    def test_merge_limit_stalls_baseline(self):
+        cache, _ = make_cache(mshr_merge=1)
+        access(cache, 0x10, waiter="w0")
+        result = access(cache, 0x10, waiter="w1")
+        assert result.is_stall
+        assert result.stall_reason is StallReason.MERGE_FULL
+
+    def test_mshr_full_stalls_baseline(self):
+        cache, _ = make_cache(mshr_entries=1)
+        access(cache, 0x10)
+        result = access(cache, 0x20)
+        assert result.is_stall
+        assert result.stall_reason is StallReason.MSHR_FULL
+
+    def test_all_reserved_set_stalls_baseline(self):
+        cache, _ = make_cache()
+        # blocks 0x0 and 0x4 map to set 0 (linear, 4 sets); fill both ways
+        access(cache, 0x0)
+        access(cache, 0x4)
+        result = access(cache, 0x8)  # set 0 again: both ways reserved
+        assert result.is_stall
+        assert result.stall_reason is StallReason.NO_RESERVABLE_LINE
+
+    def test_miss_queue_full_stalls(self):
+        cache, _ = make_cache(miss_queue_depth=1)
+        access(cache, 0x1)
+        # queue not drained: second miss cannot enqueue its fetch
+        result = access(cache, 0x2)
+        assert result.is_stall
+        assert result.stall_reason is StallReason.MISS_QUEUE_FULL
+
+    def test_stall_has_no_side_effects(self):
+        cache, _ = make_cache(mshr_entries=1)
+        access(cache, 0x10)
+        before = cache.stats.loads
+        cache.access(MemAccess(block_addr=0x20))
+        assert cache.stats.loads == before  # stalled access not counted
+
+    def test_eviction_on_replacement(self):
+        cache, _ = make_cache()
+        for block in (0x0, 0x4):
+            access(cache, block)
+            cache.drain_miss_queue()
+            cache.fill(block, 0)
+        access(cache, 0x8)  # set 0 full of valid lines: evict LRU (0x0)
+        assert cache.stats.evictions == 1
+        assert cache.tags.probe(0x0) is None
+
+    def test_lru_victim_is_least_recent(self):
+        cache, _ = make_cache()
+        for block in (0x0, 0x4):
+            access(cache, block)
+            cache.fill(block, 0)
+        access(cache, 0x0)  # touch 0x0: now 0x4 is LRU
+        access(cache, 0x8)
+        assert cache.tags.probe(0x0) is not None
+        assert cache.tags.probe(0x4) is None
+
+
+class TestStallBypass:
+    def test_bypasses_on_mshr_full(self):
+        cache, sent = make_cache(policy=StallBypassPolicy(), mshr_entries=1)
+        access(cache, 0x10)
+        result = access(cache, 0x20, waiter="w")
+        assert result.outcome is AccessOutcome.BYPASS
+        assert cache.stats.bypasses == 1
+        assert sent and sent[-1].is_bypass and sent[-1].waiter == "w"
+
+    def test_bypasses_on_reserved_set(self):
+        cache, sent = make_cache(policy=StallBypassPolicy())
+        access(cache, 0x0)
+        access(cache, 0x4)
+        result = access(cache, 0x8)
+        assert result.outcome is AccessOutcome.BYPASS
+
+    def test_bypass_needs_no_miss_queue_slot(self):
+        cache, sent = make_cache(policy=StallBypassPolicy(), miss_queue_depth=1)
+        access(cache, 0x1)  # occupies the single miss-queue slot
+        result = access(cache, 0x2)
+        assert result.outcome is AccessOutcome.BYPASS
+        assert sent[-1].block_addr == 0x2  # sent directly, queue untouched
+
+
+class TestWriteFlow:
+    def test_write_miss_is_no_allocate(self):
+        cache, _ = make_cache()
+        result = access(cache, 0x10, is_write=True)
+        assert result.outcome is AccessOutcome.WRITE_MISS
+        assert cache.tags.probe(0x10) is None
+        cache.drain_miss_queue()
+        assert cache.stats.sent_writes == 1
+
+    def test_write_hit_evicts(self):
+        cache, _ = make_cache()
+        access(cache, 0x10)
+        cache.fill(0x10, 0)
+        result = access(cache, 0x10, is_write=True)
+        assert result.outcome is AccessOutcome.WRITE_HIT
+        assert cache.stats.write_evicts == 1
+        assert cache.tags.probe(0x10) is None
+
+    def test_write_to_reserved_line_leaves_it_pending(self):
+        cache, _ = make_cache()
+        access(cache, 0x10)
+        access(cache, 0x10, is_write=True)
+        # the reserved line must still be fillable
+        cache.fill(0x10, 0)
+        assert cache.tags.probe(0x10).is_valid
+
+    def test_write_stalls_on_full_miss_queue(self):
+        cache, _ = make_cache(miss_queue_depth=1)
+        access(cache, 0x1)
+        result = access(cache, 0x2, is_write=True)
+        assert result.is_stall
+
+
+class TestStatsDerived:
+    def test_hit_rate_excludes_bypasses(self):
+        cache, _ = make_cache(policy=StallBypassPolicy(), mshr_entries=1)
+        access(cache, 0x10)
+        cache.fill(0x10, 0)
+        access(cache, 0x10)          # hit
+        access(cache, 0x20)          # miss (allocates)
+        access(cache, 0x30)          # bypass (MSHR full)
+        s = cache.stats
+        assert s.bypasses == 1
+        # 3 non-bypassed loads, 1 hit
+        assert s.hit_rate == pytest.approx(1 / 3)
+
+    def test_serviced_accesses(self):
+        cache, _ = make_cache(policy=StallBypassPolicy(), mshr_entries=1)
+        access(cache, 0x10)
+        access(cache, 0x20)  # bypass
+        assert cache.stats.serviced_accesses == 1
+
+    def test_fill_without_reservation_raises(self):
+        cache, _ = make_cache()
+        with pytest.raises(KeyError):
+            cache.fill(0x99, 0)
+
+    def test_as_dict_contains_core_counters(self):
+        cache, _ = make_cache()
+        access(cache, 0x10)
+        d = cache.stats.as_dict()
+        for key in ("loads", "misses", "hits", "hit_rate", "evictions_total"):
+            assert key in d

@@ -1,0 +1,78 @@
+"""Cache line state machine and protection fields."""
+
+import pytest
+
+from repro.cache.line import CacheLine, LineState
+
+
+class TestLifecycle:
+    def test_initial_state(self):
+        line = CacheLine(way=0)
+        assert line.is_invalid
+        assert not line.is_valid
+        assert not line.is_reserved
+
+    def test_reserve_then_fill(self):
+        line = CacheLine(way=0)
+        line.reserve(tag=0x42, block_addr=0x42, insn_id=7, now=1)
+        assert line.is_reserved
+        assert line.tag == 0x42
+        line.fill(now=2)
+        assert line.is_valid
+        assert line.insn_id == 7  # fill adopts the allocating instruction
+
+    def test_fill_without_reserve_raises(self):
+        line = CacheLine(way=0)
+        with pytest.raises(RuntimeError):
+            line.fill(now=1)
+
+    def test_double_fill_raises(self):
+        line = CacheLine(way=0)
+        line.reserve(0x1, 0x1, 0, now=0)
+        line.fill(now=1)
+        with pytest.raises(RuntimeError):
+            line.fill(now=2)
+
+    def test_invalidate_clears_everything(self):
+        line = CacheLine(way=1)
+        line.reserve(0x9, 0x9, 3, now=0)
+        line.fill(now=1)
+        line.grant_protection(5, 15)
+        line.invalidate()
+        assert line.is_invalid
+        assert line.tag == -1
+        assert line.protected_life == 0
+        assert line.insn_id == 0
+
+
+class TestProtection:
+    def test_grant_clamps_to_pl_max(self):
+        line = CacheLine(way=0)
+        line.grant_protection(100, pl_max=15)
+        assert line.protected_life == 15
+
+    def test_grant_floors_at_zero(self):
+        line = CacheLine(way=0)
+        line.grant_protection(-3, pl_max=15)
+        assert line.protected_life == 0
+
+    def test_decay_decrements(self):
+        line = CacheLine(way=0)
+        line.grant_protection(2, 15)
+        line.decay_protection()
+        assert line.protected_life == 1
+        assert line.is_protected
+
+    def test_decay_floors_at_zero(self):
+        line = CacheLine(way=0)
+        line.decay_protection()
+        assert line.protected_life == 0
+        assert not line.is_protected
+
+    def test_protected_until_pl_exhausted(self):
+        line = CacheLine(way=0)
+        line.grant_protection(3, 15)
+        for _ in range(3):
+            assert line.is_protected
+            line.decay_protection()
+        assert not line.is_protected

@@ -1,0 +1,114 @@
+"""MSHR table and miss queue resource semantics (Section 2)."""
+
+import pytest
+
+from repro.cache.mshr import MissQueue, MshrTable
+
+
+class TestMshrTable:
+    def test_allocate_and_lookup(self):
+        mshr = MshrTable(num_entries=4, max_merged=2)
+        entry = mshr.allocate(0x10, insn_id=3, now=5, waiter="w0")
+        assert mshr.lookup(0x10) is entry
+        assert entry.num_requests == 1
+        assert entry.first_insn_id == 3
+
+    def test_merge_appends_waiters(self):
+        mshr = MshrTable(num_entries=4, max_merged=3)
+        mshr.allocate(0x10, 0, 0, "w0")
+        mshr.merge(0x10, "w1")
+        mshr.merge(0x10, "w2")
+        assert mshr.lookup(0x10).waiters == ["w0", "w1", "w2"]
+        assert mshr.total_merges == 2
+
+    def test_can_merge_respects_limit(self):
+        mshr = MshrTable(num_entries=4, max_merged=2)
+        mshr.allocate(0x10, 0, 0, "w0")
+        assert mshr.can_merge(0x10)
+        mshr.merge(0x10, "w1")
+        assert not mshr.can_merge(0x10)
+
+    def test_merge_overflow_raises(self):
+        mshr = MshrTable(num_entries=4, max_merged=1)
+        mshr.allocate(0x10, 0, 0, "w0")
+        with pytest.raises(RuntimeError):
+            mshr.merge(0x10, "w1")
+
+    def test_is_full(self):
+        mshr = MshrTable(num_entries=2, max_merged=2)
+        mshr.allocate(0x1, 0, 0, None)
+        assert not mshr.is_full
+        mshr.allocate(0x2, 0, 0, None)
+        assert mshr.is_full
+
+    def test_allocate_when_full_raises(self):
+        mshr = MshrTable(num_entries=1, max_merged=1)
+        mshr.allocate(0x1, 0, 0, None)
+        with pytest.raises(RuntimeError):
+            mshr.allocate(0x2, 0, 0, None)
+
+    def test_duplicate_allocation_raises(self):
+        mshr = MshrTable(num_entries=4, max_merged=2)
+        mshr.allocate(0x1, 0, 0, None)
+        with pytest.raises(RuntimeError):
+            mshr.allocate(0x1, 0, 0, None)
+
+    def test_release_returns_waiters_and_frees(self):
+        mshr = MshrTable(num_entries=1, max_merged=4)
+        mshr.allocate(0x1, 0, 0, "a")
+        mshr.merge(0x1, "b")
+        entry = mshr.release(0x1)
+        assert entry.waiters == ["a", "b"]
+        assert not mshr.is_full
+        assert mshr.lookup(0x1) is None
+
+    def test_release_unknown_raises(self):
+        mshr = MshrTable()
+        with pytest.raises(KeyError):
+            mshr.release(0x99)
+
+    def test_peak_occupancy_tracked(self):
+        mshr = MshrTable(num_entries=4, max_merged=1)
+        mshr.allocate(0x1, 0, 0, None)
+        mshr.allocate(0x2, 0, 0, None)
+        mshr.release(0x1)
+        mshr.allocate(0x3, 0, 0, None)
+        assert mshr.peak_occupancy == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MshrTable(num_entries=0)
+        with pytest.raises(ValueError):
+            MshrTable(max_merged=0)
+
+
+class TestMissQueue:
+    def test_fifo_order(self):
+        q = MissQueue(depth=3)
+        q.push("a")
+        q.push("b")
+        assert q.pop() == "a"
+        assert q.pop() == "b"
+
+    def test_full_and_empty_flags(self):
+        q = MissQueue(depth=2)
+        assert q.is_empty
+        q.push(1)
+        q.push(2)
+        assert q.is_full
+
+    def test_push_when_full_raises(self):
+        q = MissQueue(depth=1)
+        q.push(1)
+        with pytest.raises(RuntimeError):
+            q.push(2)
+
+    def test_peek_does_not_remove(self):
+        q = MissQueue(depth=2)
+        q.push("x")
+        assert q.peek() == "x"
+        assert len(q) == 1
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            MissQueue(depth=0)

@@ -1,0 +1,74 @@
+"""Victim selection helpers: plain LRU vs protection-filtered LRU."""
+
+from repro.cache.replacement import lru_victim, protected_lru_victim
+from repro.cache.tagarray import CacheSet
+
+
+def fill_set(assoc=4):
+    cache_set = CacheSet(0, assoc)
+    for i, line in enumerate(cache_set.lines):
+        line.reserve(tag=i, block_addr=i, insn_id=0, now=i + 1)
+        line.fill(now=i + 1)
+        line.lru_stamp = i + 1
+    return cache_set
+
+
+class TestLruVictim:
+    def test_prefers_invalid(self):
+        cache_set = CacheSet(0, 2)
+        cache_set.lines[0].reserve(0, 0, 0, 1)
+        cache_set.lines[0].fill(1)
+        assert lru_victim(cache_set) is cache_set.lines[1]
+
+    def test_picks_oldest_valid(self):
+        cache_set = fill_set()
+        assert lru_victim(cache_set) is cache_set.lines[0]
+
+    def test_skips_reserved(self):
+        cache_set = fill_set(2)
+        cache_set.lines[0].invalidate()
+        cache_set.lines[0].reserve(9, 9, 0, 10)
+        assert lru_victim(cache_set) is cache_set.lines[1]
+
+    def test_none_when_all_reserved(self):
+        cache_set = CacheSet(0, 2)
+        for line in cache_set.lines:
+            line.reserve(0, 0, 0, 1)
+        assert lru_victim(cache_set) is None
+
+
+class TestProtectedLruVictim:
+    def test_skips_protected_lines(self):
+        cache_set = fill_set()
+        cache_set.lines[0].grant_protection(3, 15)
+        assert protected_lru_victim(cache_set) is cache_set.lines[1]
+
+    def test_matches_lru_when_nothing_protected(self):
+        cache_set = fill_set()
+        assert protected_lru_victim(cache_set) is lru_victim(cache_set)
+
+    def test_none_when_all_protected(self):
+        cache_set = fill_set()
+        for line in cache_set.lines:
+            line.grant_protection(1, 15)
+        assert protected_lru_victim(cache_set) is None
+
+    def test_none_when_reserved_and_protected_mix(self):
+        cache_set = fill_set(2)
+        cache_set.lines[0].grant_protection(5, 15)
+        cache_set.lines[1].invalidate()
+        cache_set.lines[1].reserve(7, 7, 0, 9)
+        assert protected_lru_victim(cache_set) is None
+
+    def test_protection_expiry_restores_candidacy(self):
+        cache_set = fill_set(2)
+        cache_set.lines[0].grant_protection(1, 15)
+        assert protected_lru_victim(cache_set) is cache_set.lines[1]
+        cache_set.lines[0].decay_protection()
+        assert protected_lru_victim(cache_set) is cache_set.lines[0]
+
+    def test_prefers_invalid_over_unprotected(self):
+        cache_set = CacheSet(0, 2)
+        cache_set.lines[0].reserve(0, 0, 0, 1)
+        cache_set.lines[0].fill(1)
+        assert protected_lru_victim(cache_set) is cache_set.lines[1]

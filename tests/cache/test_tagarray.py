@@ -1,0 +1,99 @@
+"""Tag array geometry and probing."""
+
+import pytest
+
+from repro.cache.line import LineState
+from repro.cache.tagarray import CacheGeometry, TagArray
+
+
+class TestGeometry:
+    def test_baseline_size_is_16kb(self, baseline_geometry):
+        assert baseline_geometry.size_bytes == 16 * 1024
+
+    def test_capacity_sweep_sizes(self, baseline_geometry):
+        assert baseline_geometry.with_assoc(8).size_bytes == 32 * 1024
+        assert baseline_geometry.with_assoc(16).size_bytes == 64 * 1024
+
+    def test_block_addr_strips_offset(self):
+        geo = CacheGeometry(num_sets=32, assoc=4, line_size=128)
+        assert geo.block_addr(0) == 0
+        assert geo.block_addr(127) == 0
+        assert geo.block_addr(128) == 1
+        assert geo.block_addr(130) == 1
+
+    def test_set_index_in_range(self, baseline_geometry):
+        for block in range(0, 10000, 113):
+            assert 0 <= baseline_geometry.set_index(block) < 32
+
+    def test_linear_index_fn(self):
+        geo = CacheGeometry(num_sets=64, assoc=8, index_fn="linear")
+        assert geo.set_index(65) == 1
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(num_sets=0, assoc=4)
+        with pytest.raises(ValueError):
+            CacheGeometry(num_sets=12, assoc=4)  # not a power of two
+        with pytest.raises(ValueError):
+            CacheGeometry(num_sets=32, assoc=4, line_size=100)
+
+    def test_unknown_index_fn_rejected_on_use(self):
+        geo = CacheGeometry(num_sets=32, assoc=4, index_fn="bogus")
+        with pytest.raises(ValueError):
+            geo.set_index(0)
+
+
+class TestTagArray:
+    def test_probe_miss_on_empty(self, tiny_geometry):
+        tags = TagArray(tiny_geometry)
+        assert tags.probe(0x10) is None
+
+    def test_reserve_then_probe(self, tiny_geometry):
+        tags = TagArray(tiny_geometry)
+        cache_set = tags.set_for(0x10)
+        line = cache_set.find_invalid()
+        line.reserve(tiny_geometry.tag(0x10), 0x10, 0, tags.next_stamp())
+        found = tags.probe(0x10)
+        assert found is line
+        assert found.state is LineState.RESERVED
+
+    def test_sets_partition_blocks(self, tiny_geometry):
+        tags = TagArray(tiny_geometry)
+        # linear index: blocks 0 and 4 share set 0; block 1 goes to set 1
+        assert tags.set_for(0).index == tags.set_for(4).index
+        assert tags.set_for(1).index != tags.set_for(0).index
+
+    def test_replaceable_excludes_reserved(self, tiny_geometry):
+        tags = TagArray(tiny_geometry)
+        cache_set = tags.set_for(0)
+        a, b = cache_set.lines
+        a.reserve(0, 0, 0, 1)
+        b.reserve(4, 4, 0, 2)
+        b.fill(3)
+        assert cache_set.replaceable() == [b]
+
+    def test_flush(self, tiny_geometry):
+        tags = TagArray(tiny_geometry)
+        line = tags.set_for(0).find_invalid()
+        line.reserve(0, 0, 0, 1)
+        line.fill(2)
+        tags.flush()
+        assert tags.probe(0) is None
+        assert tags.valid_blocks() == []
+
+    def test_stamps_monotonic(self, tiny_geometry):
+        tags = TagArray(tiny_geometry)
+        assert tags.next_stamp() < tags.next_stamp() < tags.next_stamp()
+
+    def test_all_reserved_or_protected(self, tiny_geometry):
+        tags = TagArray(tiny_geometry)
+        cache_set = tags.set_for(0)
+        a, b = cache_set.lines
+        assert not cache_set.all_reserved_or_protected()  # invalid lines
+        a.reserve(0, 0, 0, 1)
+        b.reserve(4, 4, 0, 2)
+        assert cache_set.all_reserved_or_protected()
+        b.fill(3)
+        assert not cache_set.all_reserved_or_protected()  # valid unprotected
+        b.grant_protection(2, 15)
+        assert cache_set.all_reserved_or_protected()

@@ -1,0 +1,48 @@
+"""Section 4.3 hardware-overhead arithmetic — pinned to the paper."""
+
+from repro.cache.tagarray import CacheGeometry
+from repro.core.overhead import compute_overhead
+
+
+class TestPaperNumbers:
+    """The paper's exact byte counts for the baseline configuration."""
+
+    def test_tda_extension_is_176_bytes(self):
+        assert compute_overhead().tda_extension_bytes == 176
+
+    def test_vta_is_624_bytes(self):
+        assert compute_overhead().vta_bytes == 624
+
+    def test_pdpt_is_464_bytes(self):
+        assert compute_overhead().pdpt_bytes == 464
+
+    def test_total_extra_is_1264_bytes(self):
+        assert compute_overhead().total_extra_bytes == 1264
+
+    def test_baseline_cache_is_16896_bytes(self):
+        assert compute_overhead().baseline_bytes == 16896
+
+    def test_overhead_fraction_is_7_48_percent(self):
+        assert round(100 * compute_overhead().overhead_fraction, 2) == 7.48
+
+
+class TestParameterised:
+    def test_doubling_vta_assoc_doubles_vta_cost(self):
+        base = compute_overhead()
+        wide = compute_overhead(vta_assoc=8)
+        assert wide.vta_bytes == 2 * base.vta_bytes
+
+    def test_wider_pl_grows_tda_extension(self):
+        base = compute_overhead()
+        wide = compute_overhead(pl_bits=8)
+        assert wide.tda_extension_bytes > base.tda_extension_bytes
+
+    def test_bigger_cache_geometry(self):
+        big = compute_overhead(CacheGeometry(num_sets=64, assoc=8))
+        assert big.baseline_bytes > 16896
+        assert big.tda_extension_bytes == (7 + 4) * 512 // 8
+
+    def test_rows_include_all_components(self):
+        names = [name for name, _ in compute_overhead().rows()]
+        assert "Victim Tag Array" in names
+        assert "PDPT" in names

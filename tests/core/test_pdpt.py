@@ -1,0 +1,97 @@
+"""Protection Distance Prediction Table (Section 4.1.3)."""
+
+import pytest
+
+from repro.core.pdpt import PredictionTable
+
+
+class TestHitAccounting:
+    def test_tda_hits_per_entry(self):
+        t = PredictionTable()
+        t.record_tda_hit(5)
+        t.record_tda_hit(5)
+        t.record_tda_hit(9)
+        assert t.entries[5].tda_hits == 2
+        assert t.entries[9].tda_hits == 1
+        assert t.global_tda_hits == 3
+
+    def test_vta_hits_per_entry(self):
+        t = PredictionTable()
+        t.record_vta_hit(3)
+        assert t.entries[3].vta_hits == 1
+        assert t.global_vta_hits == 1
+
+    def test_tda_counter_saturates_at_8_bits(self):
+        t = PredictionTable()
+        for _ in range(300):
+            t.record_tda_hit(0)
+        assert t.entries[0].tda_hits == 255
+        assert t.global_tda_hits == 300  # global accumulator is wider
+
+    def test_vta_counter_saturates_at_10_bits(self):
+        t = PredictionTable()
+        for _ in range(1100):
+            t.record_vta_hit(0)
+        assert t.entries[0].vta_hits == 1023
+
+    def test_insn_id_wraps_to_table_size(self):
+        t = PredictionTable(num_entries=128)
+        t.record_tda_hit(130)
+        assert t.entries[2].tda_hits == 1
+
+
+class TestPdField:
+    def test_pd_saturates_at_4_bits(self):
+        t = PredictionTable()
+        t.adjust_pd(0, 100)
+        assert t.pd(0) == 15
+
+    def test_pd_floors_at_zero(self):
+        t = PredictionTable()
+        t.adjust_pd(0, -5)
+        assert t.pd(0) == 0
+
+    def test_set_pd_clamps(self):
+        t = PredictionTable()
+        t.set_pd(1, 99)
+        assert t.pd(1) == 15
+        t.set_pd(1, -1)
+        assert t.pd(1) == 0
+
+    def test_decrease_all(self):
+        t = PredictionTable()
+        t.set_pd(0, 10)
+        t.set_pd(1, 3)
+        t.decrease_all(4)
+        assert t.pd(0) == 6
+        assert t.pd(1) == 0
+
+
+class TestSampling:
+    def test_clear_hits_preserves_pds(self):
+        t = PredictionTable()
+        t.record_tda_hit(0)
+        t.record_vta_hit(1)
+        t.set_pd(0, 7)
+        t.clear_hits()
+        assert t.entries[0].tda_hits == 0
+        assert t.entries[1].vta_hits == 0
+        assert t.global_tda_hits == 0
+        assert t.global_vta_hits == 0
+        assert t.pd(0) == 7
+
+    def test_active_entries(self):
+        t = PredictionTable()
+        t.record_tda_hit(2)
+        t.record_vta_hit(5)
+        assert sorted(e.insn_id for e in t.active_entries()) == [2, 5]
+
+    def test_snapshot_reports_used_entries(self):
+        t = PredictionTable()
+        t.record_tda_hit(4)
+        snap = t.snapshot()
+        assert 4 in snap and snap[4]["tda_hits"] == 1
+
+    def test_rejects_empty_table(self):
+        with pytest.raises(ValueError):
+            PredictionTable(num_entries=0)

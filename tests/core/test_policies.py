@@ -1,0 +1,64 @@
+"""Policy registry/factory and shared base behaviour."""
+
+import pytest
+
+from repro.core import (
+    POLICIES,
+    BaselinePolicy,
+    DlpPolicy,
+    GlobalProtectionPolicy,
+    StallBypassPolicy,
+    make_policy,
+)
+from repro.core.policy import CachePolicy, StallReason
+
+
+class TestFactory:
+    def test_all_four_schemes_registered(self):
+        assert set(POLICIES) == {
+            "baseline", "stall_bypass", "global_protection", "dlp"
+        }
+
+    @pytest.mark.parametrize("name,cls", [
+        ("baseline", BaselinePolicy),
+        ("stall_bypass", StallBypassPolicy),
+        ("global_protection", GlobalProtectionPolicy),
+        ("dlp", DlpPolicy),
+    ])
+    def test_factory_builds_right_class(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+
+    def test_factory_forwards_kwargs(self):
+        policy = make_policy("dlp", sample_limit=99)
+        assert policy.sampler.access_limit == 99
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("mystery")
+
+    def test_instances_are_fresh(self):
+        # one policy instance per SM: the factory must not share state
+        assert make_policy("dlp") is not make_policy("dlp")
+
+
+class TestBaseBehaviour:
+    def test_base_policy_never_bypasses(self):
+        policy = CachePolicy()
+        assert not policy.bypass_on_no_victim(None)
+        for reason in StallReason:
+            assert not policy.bypass_on_stall(reason, None)
+
+    def test_stall_bypass_always_bypasses(self):
+        policy = StallBypassPolicy()
+        assert policy.bypass_on_no_victim(None)
+        for reason in StallReason:
+            assert policy.bypass_on_stall(reason, None)
+
+    def test_stall_bypass_counts_reasons(self):
+        policy = StallBypassPolicy()
+        policy.bypass_on_stall(StallReason.MSHR_FULL, None)
+        policy.bypass_on_stall(StallReason.MSHR_FULL, None)
+        assert policy.stats()["bypass_mshr_full"] == 2
+
+    def test_describe(self):
+        assert make_policy("dlp").describe() == "dlp"

@@ -1,0 +1,141 @@
+"""Figure 9 PD computation: step comparison and the two update paths."""
+
+import pytest
+
+from repro.core.pdpt import PredictionTable
+from repro.core.protection import pd_increment, run_global_pd_update, run_pd_update
+
+
+class TestPdIncrement:
+    """The shift-based step comparison of Section 4.2 (Nasc = 4)."""
+
+    def test_no_vta_hits_means_no_increment(self):
+        assert pd_increment(4, 0, 10) == 0
+
+    def test_ratio_above_four(self):
+        assert pd_increment(4, 41, 10) == 16  # 4 x Nasc cap
+
+    def test_ratio_exactly_four(self):
+        assert pd_increment(4, 40, 10) == 16
+
+    def test_ratio_two_to_four(self):
+        assert pd_increment(4, 25, 10) == 8
+
+    def test_ratio_one_to_two(self):
+        assert pd_increment(4, 15, 10) == 4
+
+    def test_ratio_half_to_one(self):
+        assert pd_increment(4, 6, 10) == 2  # Nasc >> 1
+
+    def test_ratio_below_half(self):
+        assert pd_increment(4, 4, 10) == 0
+
+    def test_zero_tda_hits_takes_top_rung(self):
+        # all observed reuse happened after eviction: maximum protection
+        assert pd_increment(4, 3, 0) == 16
+
+    def test_upper_limit_prevents_overprotection(self):
+        # even a 100:1 ratio is capped at 4 x Nasc
+        assert pd_increment(4, 1000, 10) == 16
+
+    def test_nasc_scaling(self):
+        assert pd_increment(8, 15, 10) == 8
+        assert pd_increment(2, 15, 10) == 2
+
+    def test_negative_nasc_rejected(self):
+        with pytest.raises(ValueError):
+            pd_increment(-1, 5, 5)
+
+
+class TestRunPdUpdate:
+    def test_increase_path_is_per_instruction(self):
+        t = PredictionTable()
+        # insn 0: heavy VTA losses; insn 1: well-served by the TDA
+        for _ in range(20):
+            t.record_vta_hit(0)
+        for _ in range(2):
+            t.record_tda_hit(0)
+        for _ in range(10):
+            t.record_tda_hit(1)
+        for _ in range(1):
+            t.record_vta_hit(1)
+        result = run_pd_update(t, nasc=4)
+        assert result.path == "increase"   # global: 21 VTA > 12 TDA
+        assert t.pd(0) == 15               # 4*Nasc = 16, clamped to 15
+        assert t.pd(1) == 0                # ratio 0.1 < 1/2: no increment
+
+    def test_decrease_path_hits_all_pds(self):
+        t = PredictionTable()
+        t.set_pd(0, 10)
+        t.set_pd(5, 3)
+        for _ in range(10):
+            t.record_tda_hit(0)
+        t.record_vta_hit(0)  # 2*1 < 10
+        result = run_pd_update(t, nasc=4)
+        assert result.path == "decrease"
+        assert t.pd(0) == 6
+        assert t.pd(5) == 0
+
+    def test_hold_path_changes_nothing(self):
+        t = PredictionTable()
+        t.set_pd(0, 7)
+        for _ in range(10):
+            t.record_tda_hit(0)
+        for _ in range(7):
+            t.record_vta_hit(0)  # 7 <= 10 and 14 >= 10: hold
+        result = run_pd_update(t, nasc=4)
+        assert result.path == "hold"
+        assert t.pd(0) == 7
+
+    def test_hits_cleared_after_every_path(self):
+        for vta, tda in ((20, 2), (1, 10), (7, 10)):
+            t = PredictionTable()
+            for _ in range(vta):
+                t.record_vta_hit(0)
+            for _ in range(tda):
+                t.record_tda_hit(0)
+            run_pd_update(t, nasc=4)
+            assert t.global_tda_hits == 0
+            assert t.global_vta_hits == 0
+            assert t.entries[0].tda_hits == 0
+
+    def test_adjustments_reported(self):
+        t = PredictionTable()
+        for _ in range(8):
+            t.record_vta_hit(3)
+        t.record_tda_hit(3)
+        result = run_pd_update(t, nasc=4)
+        assert result.adjustments == {3: 15}
+
+    def test_boundary_equal_hits_is_not_increase(self):
+        t = PredictionTable()
+        for _ in range(5):
+            t.record_vta_hit(0)
+            t.record_tda_hit(0)
+        result = run_pd_update(t, nasc=4)
+        assert result.path == "hold"  # strict '>' in Fig. 9
+
+
+class TestGlobalPdUpdate:
+    def test_increase(self):
+        pd, path = run_global_pd_update(0, 15, 4, g_tda=5, g_vta=11)
+        assert path == "increase"
+        assert pd == 8  # ratio 2.2 -> 2*Nasc
+
+    def test_increase_clamps_to_pd_max(self):
+        pd, _ = run_global_pd_update(14, 15, 4, g_tda=1, g_vta=100)
+        assert pd == 15
+
+    def test_decrease(self):
+        pd, path = run_global_pd_update(10, 15, 4, g_tda=10, g_vta=2)
+        assert path == "decrease"
+        assert pd == 6
+
+    def test_decrease_floors_at_zero(self):
+        pd, _ = run_global_pd_update(2, 15, 4, g_tda=10, g_vta=0)
+        assert pd == 0
+
+    def test_hold(self):
+        pd, path = run_global_pd_update(7, 15, 4, g_tda=10, g_vta=7)
+        assert path == "hold"
+        assert pd == 7

@@ -1,0 +1,67 @@
+"""Experiment runner plumbing."""
+
+import pytest
+
+from repro.experiments.runner import (
+    FIG10_SCHEMES,
+    SCHEME_LABELS,
+    TRAFFIC_SCHEMES,
+    build_simulator,
+    harness_config,
+    run_workload,
+)
+
+
+class TestSchemes:
+    def test_fig10_scheme_order_matches_legend(self):
+        assert FIG10_SCHEMES == (
+            "baseline", "stall_bypass", "global_protection", "dlp", "32kb"
+        )
+
+    def test_traffic_schemes_exclude_capacity(self):
+        assert "32kb" not in TRAFFIC_SCHEMES
+
+    def test_labels_match_paper(self):
+        assert SCHEME_LABELS["baseline"] == "16KB(Baseline)"
+        assert SCHEME_LABELS["dlp"] == "DLP"
+
+
+class TestBuildSimulator:
+    def test_policy_scheme(self):
+        sim = build_simulator("SS", "dlp", scale=0.25)
+        assert sim.sms[0].policy.name == "dlp"
+        assert sim.config.l1d.assoc == 4
+
+    def test_capacity_scheme_uses_baseline_policy(self):
+        sim = build_simulator("SS", "32kb", scale=0.25)
+        assert sim.sms[0].policy.name == "baseline"
+        assert sim.config.l1d.assoc == 8
+
+    def test_policy_kwargs_forwarded(self):
+        sim = build_simulator("SS", "dlp", scale=0.25, sample_limit=77)
+        assert sim.sms[0].policy.sampler.access_limit == 77
+
+    def test_each_sm_gets_own_policy_instance(self):
+        sim = build_simulator("SS", "dlp", scale=0.25)
+        assert sim.sms[0].policy is not sim.sms[1].policy
+
+
+class TestHarnessConfig:
+    def test_default_is_four_sms(self):
+        cfg = harness_config()
+        assert cfg.num_sms == 4
+        assert cfg.num_partitions == 3
+        # per-SM machine identical to Table 1
+        assert cfg.l1d.size_bytes == 16 * 1024
+
+
+class TestRunWorkload:
+    def test_small_run_completes(self):
+        result = run_workload("GEMM", "baseline", harness_config(2), scale=0.5)
+        assert result.cycles > 0
+        assert result.thread_insns > 0
+        assert not result.truncated
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError):
+            run_workload("NOPE")

@@ -1,0 +1,50 @@
+"""Memory coalescing unit."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.coalescer import coalesce, coalesce_count
+
+
+class TestCoalesce:
+    def test_fully_coalesced_warp_is_one_request(self):
+        addrs = np.arange(32) * 4  # 32 consecutive words, one line
+        assert coalesce(addrs, 128) == [0]
+
+    def test_straddling_two_lines(self):
+        addrs = np.arange(32) * 4 + 64  # crosses a line boundary
+        assert coalesce(addrs, 128) == [0, 1]
+
+    def test_fully_divergent(self):
+        addrs = np.arange(32) * 128  # one line per lane
+        assert coalesce(addrs, 128) == list(range(32))
+
+    def test_broadcast_is_one_request(self):
+        assert coalesce(np.full(32, 4096), 128) == [32]
+
+    def test_first_touch_order_preserved(self):
+        addrs = np.array([512, 0, 512, 128])
+        assert coalesce(addrs, 128) == [4, 0, 1]
+
+    def test_python_list_input(self):
+        assert coalesce([0, 4, 128, 4], 128) == [0, 1]
+
+    def test_rejects_bad_line_size(self):
+        with pytest.raises(ValueError):
+            coalesce([0], 100)
+
+    def test_line_size_parameter(self):
+        addrs = np.arange(8) * 64
+        assert len(coalesce(addrs, 64)) == 8
+        assert len(coalesce(addrs, 512)) == 1
+
+
+class TestCoalesceCount:
+    def test_matches_coalesce_length(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            addrs = rng.integers(0, 1 << 20, size=32)
+            assert coalesce_count(addrs) == len(coalesce(addrs))
+
+    def test_list_input(self):
+        assert coalesce_count([0, 4, 256]) == 2

@@ -1,0 +1,75 @@
+"""GPUConfig — Table 1 parameters and variants."""
+
+import pytest
+
+from repro.gpu.config import BASELINE_CONFIG, GPUConfig, L1DConfig
+
+
+class TestTable1Defaults:
+    def test_core_counts(self):
+        cfg = GPUConfig()
+        assert cfg.num_sms == 16
+        assert cfg.warp_size == 32
+        assert cfg.max_warps_per_sm == 48
+        assert cfg.schedulers_per_sm == 2
+        assert cfg.scheduler == "gto"
+
+    def test_l1d_is_16kb_4way_hash(self):
+        l1 = GPUConfig().l1d
+        assert l1.size_bytes == 16 * 1024
+        assert l1.num_sets == 32
+        assert l1.assoc == 4
+        assert l1.index_fn == "hash"
+
+    def test_l2_is_768kb(self):
+        assert GPUConfig().l2_size_bytes == 768 * 1024
+
+    def test_twelve_partitions(self):
+        assert GPUConfig().num_partitions == 12
+
+    def test_table1_rows_cover_every_parameter(self):
+        rows = dict(GPUConfig().table1_rows())
+        assert rows["Number of Cores"] == "16"
+        assert rows["L1D cache"] == "16KB, 32sets, 4-ways, Hash index"
+        assert rows["L2 cache"] == "768KB, 64sets, 8-ways, Linear index"
+        assert rows["Memory Bandwidth"] == "177.4 GB/s"
+        assert "GTO" in rows["Warp schedulers per core"]
+
+
+class TestVariants:
+    def test_capacity_variants(self):
+        assert GPUConfig().with_l1d_size_kb(32).l1d.assoc == 8
+        assert GPUConfig().with_l1d_size_kb(64).l1d.assoc == 16
+
+    def test_unsupported_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            GPUConfig().with_l1d_size_kb(128)
+
+    def test_with_l1d_replaces_fields(self):
+        cfg = GPUConfig().with_l1d(mshr_entries=64)
+        assert cfg.l1d.mshr_entries == 64
+        assert cfg.l1d.num_sets == 32  # untouched
+
+    def test_scaled_preserves_per_sm_bandwidth(self):
+        scaled = GPUConfig().scaled(4)
+        assert scaled.num_sms == 4
+        assert scaled.num_partitions == 3  # 12 * 4/16
+        assert scaled.l1d == GPUConfig().l1d
+
+    def test_configs_are_frozen(self):
+        with pytest.raises(Exception):
+            BASELINE_CONFIG.num_sms = 1  # type: ignore[misc]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GPUConfig(num_sms=0)
+        with pytest.raises(ValueError):
+            GPUConfig(scheduler="fifo")
+        with pytest.raises(ValueError):
+            GPUConfig(num_partitions=0)
+
+    def test_l2_geometry(self):
+        geo = GPUConfig().l2_geometry()
+        assert geo.num_sets == 64
+        assert geo.assoc == 8
+        assert geo.index_fn == "linear"

@@ -1,0 +1,57 @@
+"""Warp-level instruction model."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.isa import ComputeOp, MemOp, compute, load, store, trace_stats
+from repro.utils.hashing import hash_pc
+
+
+class TestComputeOp:
+    def test_count_stored(self):
+        assert compute(5).count == 5
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            compute(0)
+
+    def test_equality(self):
+        assert compute(3) == compute(3)
+        assert compute(3) != compute(4)
+
+
+class TestMemOp:
+    def test_load_and_store_flags(self):
+        assert not load(0x10, [0]).is_write
+        assert store(0x10, [0]).is_write
+
+    def test_insn_id_precomputed(self):
+        op = load(0x123, [0])
+        assert op.insn_id == hash_pc(0x123)
+
+    def test_active_lanes(self):
+        assert load(0, np.arange(32)).active_lanes == 32
+        assert load(0, [1, 2, 3]).active_lanes == 3
+
+    def test_rejects_empty_lanes(self):
+        with pytest.raises(ValueError):
+            MemOp(False, 0, [])
+
+    def test_repr_mentions_kind(self):
+        assert "LD" in repr(load(0, [0]))
+        assert "ST" in repr(store(0, [0]))
+
+
+class TestTraceStats:
+    def test_counts(self):
+        ops = [compute(4), load(0x10, np.arange(32) * 4), store(0x18, [0, 4])]
+        stats = trace_stats(ops)
+        # 4*32 compute threads + 32 + 2 memory lanes
+        assert stats["thread_instructions"] == 128 + 32 + 2
+        assert stats["mem_ops"] == 2
+        assert stats["distinct_pcs"] == 2
+
+    def test_empty_trace(self):
+        stats = trace_stats([])
+        assert stats["thread_instructions"] == 0
+        assert stats["mem_ops"] == 0

@@ -1,0 +1,62 @@
+"""Kernel/CTA abstractions."""
+
+import pytest
+
+from repro.gpu.isa import compute
+from repro.gpu.kernel import Kernel, KernelSequence, as_kernel_list
+
+
+def trace(cta, warp):
+    yield compute(cta + warp + 1)
+
+
+class TestKernel:
+    def test_total_warps(self):
+        k = Kernel("k", num_ctas=4, warps_per_cta=8, trace_fn=trace)
+        assert k.total_warps == 32
+
+    def test_warp_trace_parameterised(self):
+        k = Kernel("k", 4, 8, trace)
+        ops = list(k.warp_trace(2, 3))
+        assert ops[0].count == 6
+
+    def test_bounds_checked(self):
+        k = Kernel("k", 2, 2, trace)
+        with pytest.raises(IndexError):
+            k.warp_trace(2, 0)
+        with pytest.raises(IndexError):
+            k.warp_trace(0, 2)
+
+    def test_all_traces_covers_grid(self):
+        k = Kernel("k", 3, 2, trace)
+        assert len(list(k.all_traces())) == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Kernel("k", 0, 1, trace)
+        with pytest.raises(ValueError):
+            Kernel("k", 1, 0, trace)
+
+
+class TestSequence:
+    def test_total_warps_sums(self):
+        seq = KernelSequence("s", [Kernel("a", 2, 2, trace), Kernel("b", 1, 4, trace)])
+        assert seq.total_warps == 8
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            KernelSequence("s", [])
+
+
+class TestAsKernelList:
+    def test_single_kernel(self):
+        k = Kernel("k", 1, 1, trace)
+        assert as_kernel_list(k) == [k]
+
+    def test_sequence(self):
+        ks = [Kernel("a", 1, 1, trace), Kernel("b", 1, 1, trace)]
+        assert as_kernel_list(KernelSequence("s", ks)) == ks
+
+    def test_plain_list(self):
+        ks = [Kernel("a", 1, 1, trace)]
+        assert as_kernel_list(ks) == ks

@@ -1,0 +1,63 @@
+"""Warp state machine."""
+
+import pytest
+
+from repro.gpu.isa import compute, load
+from repro.gpu.warp import Warp
+
+
+def make_warp(ops):
+    return Warp(gid=0, cta_slot=0, age=0, trace=iter(ops))
+
+
+class TestTraceWalk:
+    def test_empty_trace_is_done_immediately(self):
+        assert make_warp([]).done
+
+    def test_peek_then_advance(self):
+        w = make_warp([compute(2), compute(3)])
+        assert w.peek().count == 2
+        w.advance()
+        assert w.peek().count == 3
+        w.advance()
+        assert w.done
+
+    def test_advance_past_end_raises(self):
+        w = make_warp([compute(1)])
+        w.advance()
+        with pytest.raises(RuntimeError):
+            w.advance()
+
+
+class TestMemoryWait:
+    def test_wait_and_complete(self):
+        w = make_warp([load(0, [0]), compute(1)])
+        w.begin_memory_wait(3)
+        assert not w.is_ready(100)
+        assert not w.complete_request(5)
+        assert not w.complete_request(6)
+        assert w.complete_request(7)   # last one wakes the warp
+        assert w.is_ready(7)
+        assert w.ready_time == 7
+
+    def test_spurious_completion_raises(self):
+        w = make_warp([compute(1)])
+        with pytest.raises(RuntimeError):
+            w.complete_request(0)
+
+    def test_zero_requests_rejected(self):
+        w = make_warp([compute(1)])
+        with pytest.raises(ValueError):
+            w.begin_memory_wait(0)
+
+
+class TestReadiness:
+    def test_ready_time_gates(self):
+        w = make_warp([compute(1)])
+        w.ready_time = 10
+        assert not w.is_ready(9)
+        assert w.is_ready(10)
+
+    def test_done_warp_never_ready(self):
+        w = make_warp([])
+        assert not w.is_ready(0)

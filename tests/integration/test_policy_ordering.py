@@ -1,0 +1,134 @@
+"""Integration: the paper's qualitative orderings on synthetic kernels.
+
+These use small purpose-built kernels (not the Table 2 models) so they
+run in seconds and pin the *mechanism-level* claims:
+
+* on thrash-with-observable-reuse patterns, protection schemes beat
+  the baseline in hits and cut evictions;
+* Stall-Bypass eliminates L1D pipeline stalls;
+* DLP leaves streaming (reuse-free) workloads unharmed;
+* the 32 KB cache beats the 16 KB baseline on capacity-bound patterns.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import make_policy
+from repro.gpu import GPUConfig, GpuSimulator, Kernel, compute, load
+
+LINE = 128
+
+
+def run(kernel, policy, config):
+    sim = GpuSimulator(kernel, config, lambda: make_policy(policy))
+    return sim.run()
+
+
+@pytest.fixture(scope="module")
+def config():
+    return GPUConfig(num_sms=2, num_partitions=2, icnt_latency=8,
+                     l2_latency=16, dram_latency=80, dram_service_interval=4)
+
+
+@pytest.fixture(scope="module")
+def thrash_kernel():
+    """Per-warp 8-line loop buffers: 32 resident warps x 8 lines per SM
+    on a 128-line cache — reuse at protectable distances (the paper's CI
+    regime)."""
+
+    def trace(cta, w):
+        base = (cta * 64 + w) * 1_000_000
+        for rep in range(30):
+            for j in range(8):
+                yield compute(2)
+                yield load(0x10 + j * 8, np.full(32, base + j * LINE))
+
+    return Kernel("thrash", num_ctas=8, warps_per_cta=8, trace_fn=trace)
+
+
+@pytest.fixture(scope="module")
+def stream_kernel():
+    """Pure streaming: no reuse at all — protection must stay inert."""
+
+    def trace(cta, w):
+        base = (cta * 64 + w) * 1_000_000
+        for i in range(40):
+            yield compute(4)
+            yield load(0x10, np.arange(32) * 4 + base + i * LINE)
+
+    return Kernel("stream", num_ctas=8, warps_per_cta=8, trace_fn=trace)
+
+
+class TestThrashRegime:
+    @pytest.fixture(scope="class")
+    def results(self, thrash_kernel, config):
+        return {
+            p: run(thrash_kernel, p, config)
+            for p in ("baseline", "stall_bypass", "global_protection", "dlp")
+        }
+
+    def test_protection_beats_baseline_on_hits(self, results):
+        assert results["dlp"].l1d.hits_total > 1.3 * results["baseline"].l1d.hits_total
+        assert (
+            results["global_protection"].l1d.hits_total
+            > 1.3 * results["baseline"].l1d.hits_total
+        )
+
+    def test_protection_cuts_evictions(self, results):
+        assert (
+            results["dlp"].l1d.evictions_total
+            < 0.7 * results["baseline"].l1d.evictions_total
+        )
+
+    def test_protection_improves_ipc(self, results):
+        assert results["dlp"].ipc > results["baseline"].ipc
+        assert results["global_protection"].ipc > results["baseline"].ipc
+
+    def test_dlp_engages_protection(self, results):
+        assert results["dlp"].policy["pd_increase"] > 0
+        assert results["dlp"].policy["protected_bypasses"] > 0
+
+    def test_bypasses_reduce_serviced_traffic(self, results):
+        assert (
+            results["dlp"].l1d.serviced_accesses
+            < results["baseline"].l1d.serviced_accesses
+        )
+
+
+class TestStallBypass:
+    def test_no_l1d_stall_cycles(self, thrash_kernel, config):
+        result = run(thrash_kernel, "stall_bypass", config)
+        assert result.ldst_stall_cycles == 0
+
+    def test_baseline_does_stall(self, thrash_kernel, config):
+        result = run(thrash_kernel, "baseline", config)
+        assert result.ldst_stall_cycles > 0
+
+
+class TestStreamRegime:
+    @pytest.fixture(scope="class")
+    def results(self, stream_kernel, config):
+        return {
+            p: run(stream_kernel, p, config) for p in ("baseline", "dlp")
+        }
+
+    def test_dlp_never_hurts_streams(self, results):
+        # no reuse -> no VTA hits -> PDs stay down.  DLP may still *help*
+        # by bypassing misses into all-reserved sets (fewer pipeline
+        # stalls), but it must never lose IPC on a reuse-free stream.
+        assert results["dlp"].ipc >= 0.99 * results["baseline"].ipc
+
+    def test_no_protection_engaged(self, results):
+        # the protection machinery itself must stay inert: no PD
+        # increases, no lines held beyond LRU
+        assert results["dlp"].policy["pd_increase"] == 0
+        # stray line-straddle reuse aside, the VTA sees essentially nothing
+        assert results["dlp"].policy["vta_hits"] < 0.01 * results["dlp"].l1d.loads
+
+
+class TestCapacity:
+    def test_32kb_beats_16kb_on_thrash(self, thrash_kernel, config):
+        base = run(thrash_kernel, "baseline", config)
+        big = run(thrash_kernel, "baseline", config.with_l1d_size_kb(32))
+        assert big.l1d.hit_rate > base.l1d.hit_rate
+        assert big.ipc > base.ipc

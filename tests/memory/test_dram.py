@@ -1,0 +1,54 @@
+"""DRAM channel: bandwidth-limited FIFO service."""
+
+import pytest
+
+from repro.memory.dram import DramChannel
+
+
+class TestService:
+    def test_idle_read_returns_after_latency(self):
+        dram = DramChannel(service_interval=4, access_latency=100)
+        assert dram.schedule_read(10) == 110
+
+    def test_back_to_back_reads_serialise(self):
+        dram = DramChannel(service_interval=4, access_latency=100)
+        assert dram.schedule_read(0) == 100
+        assert dram.schedule_read(0) == 104   # queued behind the first
+        assert dram.schedule_read(0) == 108
+
+    def test_gap_resets_queue(self):
+        dram = DramChannel(service_interval=4, access_latency=100)
+        dram.schedule_read(0)
+        assert dram.schedule_read(50) == 150  # channel idle again
+
+    def test_writes_consume_bandwidth(self):
+        dram = DramChannel(service_interval=4, access_latency=100)
+        dram.schedule_write(0)
+        assert dram.schedule_read(0) == 104
+
+    def test_queue_delay_tracked(self):
+        dram = DramChannel(service_interval=10, access_latency=0)
+        dram.schedule_read(0)
+        dram.schedule_read(0)   # waits 10
+        dram.schedule_read(0)   # waits 20
+        assert dram.stats.total_queue_delay == 30
+        assert dram.stats.mean_queue_delay == 10
+
+    def test_utilization(self):
+        dram = DramChannel(service_interval=10, access_latency=0)
+        dram.schedule_read(0)
+        assert dram.utilization(100) == pytest.approx(0.1)
+        assert dram.utilization(0) == 0.0
+
+    def test_stats_counters(self):
+        dram = DramChannel(2, 10)
+        dram.schedule_read(0)
+        dram.schedule_write(0)
+        assert dram.stats.reads == 1
+        assert dram.stats.writes == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DramChannel(0, 10)
+        with pytest.raises(ValueError):
+            DramChannel(1, -1)

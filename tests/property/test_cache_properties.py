@@ -1,0 +1,123 @@
+"""Property-based tests: cache-substrate invariants under arbitrary
+access streams (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.l1d import AccessOutcome, L1DCache, MemAccess
+from repro.cache.line import LineState
+from repro.cache.tagarray import CacheGeometry
+from repro.core import make_policy
+
+POLICY_NAMES = ["baseline", "stall_bypass", "global_protection", "dlp"]
+
+streams = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=63),  # block
+              st.integers(min_value=0, max_value=7),   # insn id
+              st.booleans()),                          # is_write
+    min_size=1,
+    max_size=300,
+)
+
+
+def drive(policy_name, stream, num_sets=4, assoc=2, **policy_kwargs):
+    cache = L1DCache(
+        CacheGeometry(num_sets=num_sets, assoc=assoc, index_fn="linear"),
+        make_policy(policy_name, **policy_kwargs),
+        send_fn=lambda f: None,
+        mshr_entries=4,
+        mshr_merge=2,
+        miss_queue_depth=4,
+    )
+    outcomes = []
+    for block, insn, is_write in stream:
+        result = cache.access(MemAccess(block_addr=block, insn_id=insn,
+                                        is_write=is_write))
+        outcomes.append(result.outcome)
+        cache.drain_miss_queue(8)
+        if result.outcome is AccessOutcome.MISS:
+            cache.fill(block, 0)
+    return cache, outcomes
+
+
+class TestInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(stream=streams, policy=st.sampled_from(POLICY_NAMES))
+    def test_no_duplicate_tags_within_a_set(self, stream, policy):
+        cache, _ = drive(policy, stream)
+        for cache_set in cache.tags.sets:
+            tags = [l.tag for l in cache_set.lines if not l.is_invalid]
+            assert len(tags) == len(set(tags))
+
+    @settings(max_examples=40, deadline=None)
+    @given(stream=streams, policy=st.sampled_from(POLICY_NAMES))
+    def test_counter_conservation(self, stream, policy):
+        cache, _ = drive(policy, stream)
+        s = cache.stats
+        assert s.loads == s.hits + s.hit_reserved + s.misses + s.bypasses
+        assert s.stores == s.write_hits + s.write_misses
+        assert s.fills == s.misses  # every allocated miss was filled
+
+    @settings(max_examples=40, deadline=None)
+    @given(stream=streams, policy=st.sampled_from(POLICY_NAMES))
+    def test_pl_never_exceeds_field_width(self, stream, policy):
+        cache, _ = drive(policy, stream)
+        for line in cache.tags.lines():
+            assert 0 <= line.protected_life <= 15
+
+    @settings(max_examples=40, deadline=None)
+    @given(stream=streams)
+    def test_mshr_empty_after_all_fills(self, stream):
+        cache, _ = drive("baseline", stream)
+        assert len(cache.mshr) == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(stream=streams)
+    def test_baseline_with_immediate_fills_never_stalls_on_mshr(self, stream):
+        # fills arrive before the next access, so the only possible stall
+        # is the miss queue - which we drain - hence none at all
+        cache, outcomes = drive("baseline", stream)
+        assert AccessOutcome.STALL not in outcomes
+
+    @settings(max_examples=30, deadline=None)
+    @given(stream=streams)
+    def test_dlp_and_baseline_agree_without_protection(self, stream):
+        """With PDs pinned at zero, DLP's replacement decisions reduce to
+        LRU, so hit/miss totals must match the baseline exactly (loads
+        only; the huge sample limit keeps PDs at zero)."""
+        loads = [(b, i, False) for b, i, _ in stream]
+        base_cache, _ = drive("baseline", loads)
+        # a huge sample limit keeps the window from ever closing, so PDs
+        # stay at their initial zero
+        dlp_cache, _ = drive("dlp", loads, sample_limit=10**9)
+        assert dlp_cache.stats.hits == base_cache.stats.hits
+        assert dlp_cache.stats.misses == base_cache.stats.misses
+
+
+class TestReservedLinesNeverReplaced:
+    @settings(max_examples=40, deadline=None)
+    @given(stream=streams, policy=st.sampled_from(POLICY_NAMES))
+    def test_fill_always_finds_its_line(self, stream, policy):
+        """If a reserved line were ever replaced, fill() would raise."""
+        cache = L1DCache(
+            CacheGeometry(num_sets=2, assoc=2, index_fn="linear"),
+            make_policy(policy),
+            send_fn=lambda f: None,
+            mshr_entries=4,
+            mshr_merge=2,
+            miss_queue_depth=4,
+        )
+        pending = []
+        for i, (block, insn, is_write) in enumerate(stream):
+            result = cache.access(
+                MemAccess(block_addr=block, insn_id=insn, is_write=is_write)
+            )
+            cache.drain_miss_queue(8)
+            if result.outcome is AccessOutcome.MISS:
+                pending.append(block)
+            # fill lazily every third access to keep lines reserved longer
+            if i % 3 == 2:
+                while pending:
+                    cache.fill(pending.pop(), 0)
+        while pending:
+            cache.fill(pending.pop(), 0)

@@ -1,0 +1,108 @@
+"""Property-based tests on the Fig. 9 protection maths."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pdpt import PredictionTable
+from repro.core.protection import pd_increment, run_global_pd_update, run_pd_update
+
+hits = st.integers(min_value=0, max_value=2000)
+nascs = st.integers(min_value=0, max_value=16)
+
+
+class TestPdIncrementProperties:
+    @given(nasc=nascs, vta=hits, tda=hits)
+    def test_bounded_by_four_nasc(self, nasc, vta, tda):
+        assert 0 <= pd_increment(nasc, vta, tda) <= 4 * nasc
+
+    @given(nasc=nascs, vta=hits, tda=hits)
+    def test_monotone_in_vta_hits(self, nasc, vta, tda):
+        assert pd_increment(nasc, vta + 1, tda) >= pd_increment(nasc, vta, tda)
+
+    @given(nasc=nascs, vta=hits, tda=hits)
+    def test_antitone_in_tda_hits(self, nasc, vta, tda):
+        assert pd_increment(nasc, vta, tda + 1) <= pd_increment(nasc, vta, tda)
+
+    @given(nasc=nascs, tda=hits)
+    def test_zero_vta_hits_never_increments(self, nasc, tda):
+        assert pd_increment(nasc, 0, tda) == 0
+
+    @given(vta=hits, tda=hits)
+    def test_increment_is_a_shift_of_nasc(self, vta, tda):
+        # hardware implements the step comparison with shifts: for a
+        # power-of-two Nasc, the result must be Nasc shifted by [-1, 2]
+        nasc = 4
+        inc = pd_increment(nasc, vta, tda)
+        assert inc in (0, nasc >> 1, nasc, 2 * nasc, 4 * nasc)
+
+
+def build_table(pairs):
+    t = PredictionTable()
+    for insn_id, (vta, tda) in enumerate(pairs):
+        for _ in range(vta):
+            t.record_vta_hit(insn_id)
+        for _ in range(tda):
+            t.record_tda_hit(insn_id)
+    return t
+
+
+per_insn = st.lists(
+    st.tuples(st.integers(0, 50), st.integers(0, 50)), min_size=1, max_size=16
+)
+
+
+class TestRunPdUpdateProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(pairs=per_insn, nasc=st.integers(1, 8))
+    def test_pds_stay_in_field_range(self, pairs, nasc):
+        t = build_table(pairs)
+        run_pd_update(t, nasc)
+        for entry in t.entries:
+            assert 0 <= entry.pd <= 15
+
+    @settings(max_examples=60, deadline=None)
+    @given(pairs=per_insn, nasc=st.integers(1, 8))
+    def test_counters_always_cleared(self, pairs, nasc):
+        t = build_table(pairs)
+        run_pd_update(t, nasc)
+        assert t.global_tda_hits == 0
+        assert t.global_vta_hits == 0
+        assert all(e.tda_hits == 0 and e.vta_hits == 0 for e in t.entries)
+
+    @settings(max_examples=60, deadline=None)
+    @given(pairs=per_insn, nasc=st.integers(1, 8))
+    def test_path_consistent_with_global_counts(self, pairs, nasc):
+        t = build_table(pairs)
+        g_tda, g_vta = t.global_tda_hits, t.global_vta_hits
+        result = run_pd_update(t, nasc)
+        if g_vta > g_tda:
+            assert result.path == "increase"
+        elif 2 * g_vta < g_tda:
+            assert result.path == "decrease"
+        else:
+            assert result.path == "hold"
+
+    @settings(max_examples=60, deadline=None)
+    @given(pairs=per_insn, nasc=st.integers(1, 8))
+    def test_decrease_never_raises_any_pd(self, pairs, nasc):
+        t = build_table(pairs)
+        for e in t.entries[:4]:
+            e.pd = 9
+        before = [e.pd for e in t.entries]
+        result = run_pd_update(t, nasc)
+        if result.path == "decrease":
+            assert all(e.pd <= b for e, b in zip(t.entries, before))
+
+
+class TestGlobalUpdateProperties:
+    @given(pd=st.integers(0, 15), nasc=st.integers(1, 8), tda=hits, vta=hits)
+    def test_result_in_range(self, pd, nasc, tda, vta):
+        new_pd, path = run_global_pd_update(pd, 15, nasc, tda, vta)
+        assert 0 <= new_pd <= 15
+        assert path in ("increase", "decrease", "hold")
+
+    @given(pd=st.integers(0, 15), nasc=st.integers(1, 8), tda=hits, vta=hits)
+    def test_hold_is_identity(self, pd, nasc, tda, vta):
+        new_pd, path = run_global_pd_update(pd, 15, nasc, tda, vta)
+        if path == "hold":
+            assert new_pd == pd

@@ -1,0 +1,90 @@
+"""Property-based tests: VTA and coalescer invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.cache.tagarray import CacheGeometry
+from repro.core.vta import VictimTagArray
+from repro.gpu.coalescer import coalesce, coalesce_count
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "probe"]),
+        st.integers(0, 63),        # block
+        st.integers(0, 127),       # insn id
+    ),
+    max_size=200,
+)
+
+
+class TestVtaProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=ops)
+    def test_occupancy_bounded_by_capacity(self, ops):
+        vta = VictimTagArray(CacheGeometry(num_sets=4, assoc=2, index_fn="linear"), 2)
+        for op, block, insn in ops:
+            if op == "insert":
+                vta.insert(block, insn)
+            else:
+                vta.probe(block)
+            assert vta.occupancy() <= vta.num_entries
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=ops)
+    def test_no_duplicate_tags_per_set(self, ops):
+        vta = VictimTagArray(CacheGeometry(num_sets=4, assoc=2, index_fn="linear"), 2)
+        for op, block, insn in ops:
+            if op == "insert":
+                vta.insert(block, insn)
+            else:
+                vta.probe(block)
+            for entries in vta.sets:
+                tags = [e.tag for e in entries if e.valid]
+                assert len(tags) == len(set(tags))
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=ops)
+    def test_probe_hit_returns_last_inserted_insn(self, ops):
+        vta = VictimTagArray(CacheGeometry(num_sets=4, assoc=4, index_fn="linear"), 4)
+        last_insn = {}
+        for op, block, insn in ops:
+            if op == "insert":
+                vta.insert(block, insn)
+                last_insn[block] = insn
+            else:
+                result = vta.probe(block)
+                if result is not None:
+                    assert result == last_insn[block]
+                last_insn.pop(block, None)  # hit or miss: entry gone/absent
+
+
+addr_arrays = hnp.arrays(
+    dtype=np.int64,
+    shape=st.integers(1, 32),
+    elements=st.integers(0, 1 << 24),
+)
+
+
+class TestCoalescerProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(addrs=addr_arrays)
+    def test_count_matches_unique_blocks(self, addrs):
+        blocks = coalesce(addrs, 128)
+        assert len(blocks) == coalesce_count(addrs, 128)
+        assert sorted(set(blocks)) == sorted(np.unique(addrs >> 7).tolist())
+
+    @settings(max_examples=80, deadline=None)
+    @given(addrs=addr_arrays)
+    def test_no_duplicates_and_bounded(self, addrs):
+        blocks = coalesce(addrs, 128)
+        assert len(blocks) == len(set(blocks))
+        assert 1 <= len(blocks) <= len(addrs)
+
+    @settings(max_examples=80, deadline=None)
+    @given(addrs=addr_arrays)
+    def test_every_lane_served(self, addrs):
+        blocks = set(coalesce(addrs, 128))
+        for addr in addrs:
+            assert int(addr) >> 7 in blocks

@@ -1,0 +1,78 @@
+"""Saturating-counter behaviour (the PDPT/PL fields depend on it)."""
+
+import pytest
+
+from repro.utils.counters import SaturatingCounter, saturating_add, saturating_sub
+
+
+class TestSaturatingAdd:
+    def test_plain_addition(self):
+        assert saturating_add(3, 2, 10) == 5
+
+    def test_clamps_at_max(self):
+        assert saturating_add(9, 5, 10) == 10
+
+    def test_clamps_at_zero_on_negative_delta(self):
+        assert saturating_add(2, -5, 10) == 0
+
+    def test_exact_max(self):
+        assert saturating_add(7, 3, 10) == 10
+
+
+class TestSaturatingSub:
+    def test_plain_subtraction(self):
+        assert saturating_sub(5, 3) == 2
+
+    def test_floors_at_zero(self):
+        assert saturating_sub(2, 7) == 0
+
+    def test_custom_floor(self):
+        assert saturating_sub(5, 10, min_value=1) == 1
+
+
+class TestSaturatingCounter:
+    def test_max_value_from_bits(self):
+        assert SaturatingCounter(bits=4).max_value == 15
+        assert SaturatingCounter(bits=8).max_value == 255
+        assert SaturatingCounter(bits=10).max_value == 1023
+
+    def test_increment_saturates(self):
+        c = SaturatingCounter(bits=2)
+        for _ in range(10):
+            c.increment()
+        assert c.value == 3
+        assert c.is_saturated()
+
+    def test_decrement_floors(self):
+        c = SaturatingCounter(bits=4, value=1)
+        c.decrement()
+        c.decrement()
+        assert c.value == 0
+
+    def test_set_clamps_both_ends(self):
+        c = SaturatingCounter(bits=4)
+        assert c.set(100) == 15
+        assert c.set(-3) == 0
+
+    def test_reset(self):
+        c = SaturatingCounter(bits=4, value=9)
+        c.reset()
+        assert c.value == 0
+
+    def test_int_conversion(self):
+        assert int(SaturatingCounter(bits=4, value=7)) == 7
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=0)
+
+    def test_rejects_out_of_range_initial(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=2, value=4)
+
+    def test_increment_by_delta(self):
+        c = SaturatingCounter(bits=4)
+        c.increment(9)
+        assert c.value == 9
+        c.increment(9)
+        assert c.value == 15

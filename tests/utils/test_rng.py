@@ -1,0 +1,44 @@
+"""Deterministic RNG used by the workload models."""
+
+import numpy as np
+
+from repro.utils.rng import DeterministicRng
+
+
+class TestDeterministicRng:
+    def test_same_key_same_stream(self):
+        a = DeterministicRng("BFS").integers(0, 1000, 64)
+        b = DeterministicRng("BFS").integers(0, 1000, 64)
+        assert np.array_equal(a, b)
+
+    def test_different_keys_differ(self):
+        a = DeterministicRng("BFS").integers(0, 1000, 64)
+        b = DeterministicRng("KM").integers(0, 1000, 64)
+        assert not np.array_equal(a, b)
+
+    def test_salt_changes_stream(self):
+        a = DeterministicRng("BFS", salt=0).integers(0, 1000, 64)
+        b = DeterministicRng("BFS", salt=1).integers(0, 1000, 64)
+        assert not np.array_equal(a, b)
+
+    def test_zipf_indices_in_range(self):
+        idx = DeterministicRng("x").zipf_indices(100, 5000, 1.2)
+        assert idx.min() >= 0
+        assert idx.max() < 100
+
+    def test_zipf_is_skewed(self):
+        idx = DeterministicRng("x").zipf_indices(100, 20000, 1.2)
+        counts = np.bincount(idx, minlength=100)
+        # rank-0 item must be much more popular than the median item
+        assert counts[0] > 4 * np.median(counts)
+
+    def test_zipf_low_exponent_flatter(self):
+        steep = DeterministicRng("x").zipf_indices(100, 20000, 1.5)
+        flat = DeterministicRng("x", salt=1).zipf_indices(100, 20000, 0.3)
+        top_steep = np.bincount(steep, minlength=100)[0]
+        top_flat = np.bincount(flat, minlength=100)[0]
+        assert top_steep > top_flat
+
+    def test_permutation_covers_all(self):
+        p = DeterministicRng("x").permutation(50)
+        assert sorted(p.tolist()) == list(range(50))

@@ -1,0 +1,48 @@
+"""Workload base-class utilities."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.base import AddressMap, Workload
+
+
+class TestAddressMap:
+    def test_regions_disjoint(self):
+        amap = AddressMap()
+        a = amap.region("a", 1 << 16)
+        b = amap.region("b", 1 << 16)
+        assert b >= a + (1 << 16)
+
+    def test_same_name_same_base(self):
+        amap = AddressMap()
+        assert amap.region("x", 100) == amap.region("x", 100)
+
+    def test_regrow_rejected(self):
+        amap = AddressMap()
+        amap.region("x", 100)
+        with pytest.raises(ValueError):
+            amap.region("x", 200)
+
+    def test_regions_listing(self):
+        amap = AddressMap()
+        amap.region("x", 64)
+        assert "x" in amap.regions()
+
+
+class TestAddressHelpers:
+    def test_coalesced_is_consecutive_words(self):
+        addrs = Workload.coalesced(1000)
+        assert addrs.tolist() == [1000 + 4 * i for i in range(32)]
+
+    def test_coalesced_custom_element(self):
+        addrs = Workload.coalesced(0, elem_bytes=1)
+        assert addrs.tolist() == list(range(32))
+
+    def test_broadcast_single_address(self):
+        addrs = Workload.broadcast(4096)
+        assert len(addrs) == 32
+        assert np.unique(addrs).tolist() == [4096]
+
+    def test_strided(self):
+        addrs = Workload.strided(0, 256, count=4)
+        assert addrs.tolist() == [0, 256, 512, 768]

@@ -1,0 +1,57 @@
+"""Workload registry = Table 2."""
+
+import pytest
+
+from repro.workloads import ALL_APPS, CI_APPS, CS_APPS, WORKLOADS, make_workload, table2_rows
+
+
+class TestTable2:
+    def test_eighteen_applications(self):
+        assert len(ALL_APPS) == 18
+
+    def test_nine_cs_nine_ci(self):
+        assert len(CS_APPS) == 9
+        assert len(CI_APPS) == 9
+
+    def test_paper_ordering(self):
+        assert ALL_APPS == [
+            "HG", "HS", "STEN", "SC", "BP", "SRAD", "NW", "GEMM", "BT",
+            "CFD", "PVR", "SS", "BFS", "MM", "SRK", "SR2K", "KM", "STR",
+        ]
+
+    def test_cs_block_precedes_ci_block(self):
+        assert ALL_APPS[:9] == CS_APPS
+        assert ALL_APPS[9:] == CI_APPS
+
+    def test_suites_match_table2(self):
+        suites = {a: cls.meta.suite for a, cls in WORKLOADS.items()}
+        assert suites["HG"] == "CUDA Samples"
+        assert suites["STEN"] == "Parboil"
+        assert suites["PVR"] == "Mars"
+        assert suites["GEMM"] == "Polybench"
+        assert suites["BFS"] == "Rodinia"
+
+    def test_paper_inputs_recorded(self):
+        assert WORKLOADS["HG"].meta.paper_input == "67108864"
+        assert WORKLOADS["KM"].meta.paper_input == "204800"
+
+    def test_table2_rows_shape(self):
+        rows = table2_rows()
+        assert len(rows) == 18
+        assert all(len(r) == 6 for r in rows)
+
+
+class TestFactory:
+    def test_case_insensitive(self):
+        assert make_workload("bfs").meta.abbr == "BFS"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            make_workload("DOOM")
+
+    def test_scale_forwarded(self):
+        assert make_workload("KM", scale=0.5).scale == 0.5
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            make_workload("KM", scale=0)

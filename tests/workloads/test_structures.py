@@ -1,0 +1,217 @@
+"""Per-workload structure tests: each model's documented access pattern.
+
+Every workload docstring makes claims about its memory structure (which
+PCs stream, which re-reference, what footprints).  These tests pin those
+claims at the trace level so a refactor can't silently change the
+reuse behaviour the figures depend on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu.coalescer import coalesce
+from repro.gpu.isa import ComputeOp, MemOp
+from repro.workloads import make_workload
+
+LINE = 128
+
+
+def mem_ops(workload, kernel_idx=0, cta=0, warp=0):
+    kernel = workload.kernels()[kernel_idx]
+    return [op for op in kernel.warp_trace(cta, warp) if isinstance(op, MemOp)]
+
+
+def blocks_by_pc(ops):
+    out = {}
+    for op in ops:
+        out.setdefault(op.pc, []).extend(coalesce(op.addrs, LINE))
+    return out
+
+
+def reuse_factor(blocks):
+    """Accesses per distinct line: 1.0 = pure stream."""
+    return len(blocks) / len(set(blocks))
+
+
+class TestHistogram:
+    def test_input_is_pure_stream(self):
+        per_pc = blocks_by_pc(mem_ops(make_workload("HG")))
+        input_blocks = per_pc[0x100]
+        assert reuse_factor(input_blocks) == 1.0
+
+    def test_bins_are_warp_private(self):
+        wl = make_workload("HG")
+        bins0 = set(blocks_by_pc(mem_ops(wl, warp=0))[0x108])
+        bins1 = set(blocks_by_pc(mem_ops(wl, warp=1))[0x108])
+        assert not bins0 & bins1
+
+
+class TestHotspot:
+    def test_pass2_rereads_pass1_lines(self):
+        per_pc = blocks_by_pc(mem_ops(make_workload("HS")))
+        first = set(per_pc[0x200])          # pass-1 temperature loads
+        reread = set(per_pc[0x210])         # pass-2 border reloads
+        assert reread <= first
+
+
+class TestStencil3D:
+    def test_update_sweep_rereads_front_sweep(self):
+        per_pc = blocks_by_pc(mem_ops(make_workload("STEN")))
+        assert set(per_pc[0x308]) == set(per_pc[0x300])
+
+
+class TestConvolution:
+    def test_apron_lines_rereferenced_next_tile(self):
+        ops = mem_ops(make_workload("SC"))
+        apron = [coalesce(o.addrs, LINE)[0] for o in ops if o.pc == 0x408]
+        mains = [coalesce(o.addrs, LINE)[0] for o in ops if o.pc == 0x400]
+        # every apron line is the next tile's main line
+        assert set(apron) <= set(mains)
+
+
+class TestBackprop:
+    def test_input_vector_shared_across_warps(self):
+        wl = make_workload("BP")
+        in0 = set(blocks_by_pc(mem_ops(wl, warp=0))[0x500])
+        in1 = set(blocks_by_pc(mem_ops(wl, warp=3))[0x500])
+        assert in0 & in1
+
+    def test_weights_are_private_streams(self):
+        wl = make_workload("BP")
+        w0 = blocks_by_pc(mem_ops(wl, warp=0))[0x508]
+        w1 = blocks_by_pc(mem_ops(wl, warp=1))[0x508]
+        assert reuse_factor(w0) == 1.0
+        assert not set(w0) & set(w1)
+
+
+class TestBTree:
+    def test_root_is_hottest(self):
+        per_pc = blocks_by_pc(mem_ops(make_workload("BT")))
+        assert len(set(per_pc[0x908])) == 1          # single root line
+        assert len(set(per_pc[0x918])) > 20          # leaves scatter
+
+    def test_levels_have_increasing_footprints(self):
+        per_pc = blocks_by_pc(mem_ops(make_workload("BT")))
+        root = len(set(per_pc[0x908]))
+        internal = len(set(per_pc[0x910]))
+        leaf = len(set(per_pc[0x918]))
+        assert root <= internal <= leaf
+
+
+class TestCfd:
+    def test_own_block_rereferenced_across_passes(self):
+        wl = make_workload("CFD")
+        first = blocks_by_pc(mem_ops(wl, kernel_idx=0))[0xA00]
+        assert reuse_factor(first) > 1.0  # two steps re-read the block
+
+    def test_neighbour_gather_touches_other_blocks(self):
+        wl = make_workload("CFD")
+        per_pc = blocks_by_pc(mem_ops(wl, kernel_idx=0, warp=0))
+        own = set(per_pc[0xA00]) | set(per_pc[0xA10]) | set(per_pc[0xA18])
+        nbr = set(per_pc[0xA18]) if 0xA18 in per_pc else set()
+        # neighbour loads exist and reach beyond the warp's own lines
+        assert 0xA18 in per_pc
+        assert nbr - set(per_pc[0xA00])
+
+
+class TestSimilarityScore:
+    def test_own_vector_hot_partner_cyclic(self):
+        per_pc = blocks_by_pc(mem_ops(make_workload("SS")))
+        own = per_pc[0xC00]
+        partners = per_pc[0xC08]
+        assert reuse_factor(own) > 10           # re-read every pair
+        assert len(set(partners)) > len(set(own))  # sweep covers the corpus
+
+
+class TestBfs:
+    def test_edges_read_once_per_node(self):
+        wl = make_workload("BFS")
+        # use a later level where frontiers are populated
+        ops = mem_ops(wl, kernel_idx=3, cta=2, warp=0) or mem_ops(
+            wl, kernel_idx=3, cta=4, warp=0
+        )
+        if not ops:
+            pytest.skip("chunk empty at this level")
+        per_pc = blocks_by_pc(ops)
+        if 0xD18 in per_pc:
+            assert reuse_factor(per_pc[0xD18]) <= 2.0
+
+    def test_level_kernels_shrink_then_grow(self):
+        wl = make_workload("BFS")
+        wl.kernels()  # builds the graph and frontiers
+        sizes = [f.size for f in wl.frontiers]
+        assert sizes[0] == 1
+        assert max(sizes) > 100
+
+
+class TestMatMul:
+    def test_a_broadcasts_b_coalesced(self):
+        ops = mem_ops(make_workload("MM"))
+        a_ops = [o for o in ops if o.pc == 0xE00]
+        b_ops = [o for o in ops if o.pc == 0xE08]
+        assert all(len(coalesce(o.addrs, LINE)) == 1 for o in a_ops)
+        assert all(len(coalesce(o.addrs, LINE)) == 1 for o in b_ops)
+        # B sweeps n distinct rows; A touches only ~n/32 lines
+        per_pc = blocks_by_pc(ops)
+        assert len(set(per_pc[0xE08])) > 8 * len(set(per_pc[0xE00]))
+
+
+class TestSyrkFamily:
+    def test_syrk_own_row_loaded_once(self):
+        per_pc = blocks_by_pc(mem_ops(make_workload("SRK")))
+        assert reuse_factor(per_pc[0xF00]) == 1.0   # hoisted to registers
+
+    def test_syrk_sweep_covers_all_rows(self):
+        wl = make_workload("SRK")
+        per_pc = blocks_by_pc(mem_ops(wl))
+        assert len(set(per_pc[0xF08])) == wl.rows * wl.row_lines
+
+    def test_syr2k_sweeps_both_matrices(self):
+        per_pc = blocks_by_pc(mem_ops(make_workload("SR2K")))
+        a_sweep = set(per_pc[0x1018])
+        b_sweep = set(per_pc[0x1008])
+        assert a_sweep and b_sweep and not a_sweep & b_sweep
+
+
+class TestKmeans:
+    def test_features_rereferenced_per_chunk(self):
+        wl = make_workload("KM")
+        per_pc = blocks_by_pc(mem_ops(wl))
+        assert reuse_factor(per_pc[0x1100]) == pytest.approx(
+            wl.centroid_chunks, rel=0.01
+        )
+
+    def test_centroids_shared_across_warps(self):
+        wl = make_workload("KM")
+        c0 = set(blocks_by_pc(mem_ops(wl, warp=0))[0x1108])
+        c1 = set(blocks_by_pc(mem_ops(wl, warp=5))[0x1108])
+        assert c0 == c1
+
+
+class TestStringMatch:
+    def test_text_rescanned_per_keyword_chunk(self):
+        wl = make_workload("STR")
+        per_pc = blocks_by_pc(mem_ops(wl))
+        assert reuse_factor(per_pc[0x1200]) == pytest.approx(
+            wl.keyword_chunks, rel=0.01
+        )
+
+    def test_dict_probes_are_divergent(self):
+        ops = mem_ops(make_workload("STR"))
+        dict_ops = [o for o in ops if o.pc == 0x1208]
+        requests = [len(coalesce(o.addrs, LINE)) for o in dict_ops]
+        assert max(requests) > 2
+
+
+class TestPageViewRank:
+    def test_two_phase_kernels(self):
+        wl = make_workload("PVR")
+        names = [k.name for k in wl.kernels()]
+        assert names == ["pvr_map", "pvr_reduce"]
+
+    def test_reduce_accumulators_private_and_hot(self):
+        wl = make_workload("PVR")
+        per0 = blocks_by_pc(mem_ops(wl, kernel_idx=1, warp=0))[0xB28]
+        per1 = blocks_by_pc(mem_ops(wl, kernel_idx=1, warp=1))[0xB28]
+        assert reuse_factor(per0) > 4
+        assert not set(per0) & set(per1)

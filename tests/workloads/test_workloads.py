@@ -1,0 +1,114 @@
+"""Cross-cutting checks over all 18 workload models.
+
+These pin the properties the experiments rely on: trace determinism,
+classification by memory-access ratio (Fig. 6 / Table 2), address-region
+hygiene and scale behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu.isa import ComputeOp, MemOp
+from repro.workloads import ALL_APPS, make_workload
+
+# static_stats over all traces is the expensive part; compute once per app
+_STATS_CACHE = {}
+
+
+def stats_for(abbr):
+    if abbr not in _STATS_CACHE:
+        _STATS_CACHE[abbr] = make_workload(abbr).static_stats()
+    return _STATS_CACHE[abbr]
+
+
+@pytest.mark.parametrize("abbr", ALL_APPS)
+class TestEveryWorkload:
+    def test_builds_kernels(self, abbr):
+        kernels = make_workload(abbr).kernels()
+        assert kernels
+        assert all(k.total_warps > 0 for k in kernels)
+
+    def test_first_trace_is_well_formed(self, abbr):
+        wl = make_workload(abbr)
+        kernel = wl.kernels()[0]
+        ops = list(kernel.warp_trace(0, 0))
+        assert ops, f"{abbr}: empty warp trace"
+        for op in ops:
+            assert isinstance(op, (ComputeOp, MemOp))
+            if isinstance(op, MemOp):
+                assert len(op.addrs) >= 1
+                assert min(op.addrs) >= 0
+
+    def test_traces_are_deterministic(self, abbr):
+        def fingerprint():
+            wl = make_workload(abbr)
+            kernel = wl.kernels()[0]
+            total = 0
+            for op in kernel.warp_trace(0, 0):
+                if isinstance(op, MemOp):
+                    total += int(np.sum(np.asarray(op.addrs, dtype=np.int64)))
+                else:
+                    total += op.count
+            return total
+
+        assert fingerprint() == fingerprint()
+
+    def test_classification_matches_table2(self, abbr):
+        wl = make_workload(abbr)
+        ratio = stats_for(abbr)["mem_access_ratio"]
+        if wl.meta.paper_type == "CS":
+            assert ratio < 0.01, f"{abbr}: CS app with ratio {ratio:.3%}"
+        else:
+            assert ratio >= 0.01, f"{abbr}: CI app with ratio {ratio:.3%}"
+
+    def test_uses_multiple_static_instructions(self, abbr):
+        assert stats_for(abbr)["distinct_pcs"] >= 2
+
+    def test_meta_complete(self, abbr):
+        meta = make_workload(abbr).meta
+        assert meta.abbr == abbr
+        assert meta.paper_type in ("CS", "CI")
+        assert meta.suite
+        assert meta.paper_input
+        assert meta.scaled_input
+
+
+class TestScaling:
+    def test_scale_changes_work_volume(self):
+        small = make_workload("SS", scale=0.25).static_stats()["mem_ops"]
+        full = make_workload("SS", scale=1.0).static_stats()["mem_ops"]
+        assert small < full
+
+    def test_distinct_workloads_use_distinct_regions(self):
+        # PC constants must not collide across workloads (each module
+        # owns a PC block)
+        pcs = {}
+        for abbr in ALL_APPS:
+            wl = make_workload(abbr)
+            kernel = wl.kernels()[0]
+            for op in kernel.warp_trace(0, 0):
+                if isinstance(op, MemOp):
+                    owner = pcs.setdefault(op.pc, abbr)
+                    assert owner == abbr, f"PC {op.pc:#x} shared by {owner} and {abbr}"
+
+
+class TestBfsGraph:
+    def test_frontiers_cover_levels(self):
+        wl = make_workload("BFS")
+        wl.kernels()
+        assert len(wl.frontiers) >= 3
+        assert wl.frontiers[0].tolist() == [0]
+        # frontier sizes grow then shrink (or terminate)
+        sizes = [f.size for f in wl.frontiers]
+        assert max(sizes) > 1
+
+    def test_csr_is_consistent(self):
+        wl = make_workload("BFS")
+        wl.kernels()
+        assert wl.row_offsets[-1] == wl.edges.size
+        assert wl.edges.min() >= 0
+        assert wl.edges.max() < wl.num_nodes
+
+    def test_one_kernel_per_level(self):
+        wl = make_workload("BFS")
+        assert len(wl.kernels()) == len(wl.frontiers)
