@@ -1,10 +1,12 @@
 """Benchmark harness configuration.
 
 Every bench regenerates one of the paper's tables or figures and prints
-the rows/series the paper reports.  Timing-simulation cells are memoised
-process-wide (see ``repro.experiments.runner.run_cell``), so the whole
-harness simulates each (application, scheme) pair exactly once even
-though several figures consume the same sweep.
+the rows/series the paper reports.  Timing-simulation cells resolve
+through the sweep executor against a shared on-disk result store
+(default ``benchmarks/.store``; override with ``$REPRO_STORE``, set
+``REPRO_JOBS`` for parallel simulation of cold cells), so the whole
+harness simulates each (application, scheme) pair exactly once — and a
+*re*-run of the harness against a warm store simulates nothing at all.
 
 Run with::
 
@@ -15,9 +17,22 @@ Run with::
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
+from pathlib import Path
 
 import pytest
+
+from repro.experiments import runner
+
+
+def pytest_configure(config):
+    """Point the shared runner at the harness's warm store."""
+    store_dir = os.environ.get(
+        "REPRO_STORE", str(Path(__file__).parent / ".store")
+    )
+    jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    runner.configure(store=store_dir, jobs=jobs)
 
 
 def bench_once(benchmark, fn):

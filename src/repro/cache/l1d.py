@@ -75,6 +75,16 @@ class FetchRequest:
     waiter: Any = None
 
 
+#: The raw (non-derived) counter fields of :class:`L1DStats`, in
+#: declaration order.  Serialization round-trips exactly these plus the
+#: ``stalls`` map; every derived metric recomputes from them.
+L1D_RAW_FIELDS = (
+    "loads", "stores", "hits", "hit_reserved", "misses", "bypasses",
+    "write_hits", "write_misses", "evictions", "write_evicts", "fills",
+    "sent_fetches", "sent_writes",
+)
+
+
 @dataclass
 class L1DStats:
     """Raw event counters; figure-level metrics derive from these."""
@@ -154,6 +164,25 @@ class L1DStats:
         for reason, count in self.stalls.items():
             out[f"stall_{reason}"] = count
         return out
+
+    # -- lossless serialization (result store / differential oracle) ------
+
+    def to_raw_dict(self) -> Dict[str, Any]:
+        """Raw counters only — the exact inverse of :meth:`from_raw_dict`.
+
+        Unlike :meth:`as_dict` this excludes derived metrics, so a
+        round-trip reconstructs a bit-identical :class:`L1DStats`.
+        """
+        out: Dict[str, Any] = {f: getattr(self, f) for f in L1D_RAW_FIELDS}
+        out["stalls"] = dict(self.stalls)
+        return out
+
+    @classmethod
+    def from_raw_dict(cls, data: Dict[str, Any]) -> "L1DStats":
+        return cls(
+            **{f: int(data.get(f, 0)) for f in L1D_RAW_FIELDS},
+            stalls={k: int(v) for k, v in data.get("stalls", {}).items()},
+        )
 
 
 class L1DCache:

@@ -6,6 +6,9 @@ run        simulate one application under one scheme and print a summary
 compare    all five schemes on one application (a Figs. 10-13 column)
 figure     regenerate one paper table/figure by name (fig2..fig13, table1,
            table2, overhead)
+sweep      run an app x scheme grid through the parallel executor,
+           optionally backed by an on-disk result store
+store      inspect (``ls``) or wipe (``clear``) an on-disk result store
 profile    reuse-distance analysis of one application (Fig. 3/7 style)
 list       the Table 2 application registry
 
@@ -16,6 +19,8 @@ Examples
     python -m repro run SS --policy dlp
     python -m repro compare KM --sms 4
     python -m repro figure fig3
+    python -m repro sweep --apps BFS,KM --jobs 4 --store .repro-store
+    python -m repro store ls
     python -m repro profile BFS
     python -m repro list
 """
@@ -37,12 +42,15 @@ from repro.experiments.figures import (
     fig13_data,
     render_policy_figure,
 )
+from repro.experiments.executor import SweepExecutor
 from repro.experiments.runner import (
     FIG10_SCHEMES,
     SCHEME_LABELS,
+    TRAFFIC_SCHEMES,
     harness_config,
     run_workload,
 )
+from repro.experiments.store import ResultStore, default_store_dir, open_store
 from repro.workloads import ALL_APPS, make_workload, table2_rows
 
 _TIMING_FIGURES = {
@@ -81,6 +89,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("name",
                        choices=sorted(set(RENDERERS) | set(_TIMING_FIGURES)))
     p_fig.add_argument("--sms", type=int, default=4)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run an app x scheme grid through the parallel executor"
+    )
+    p_sweep.add_argument("--apps", default="all",
+                         help="comma-separated Table 2 abbrs (default: all)")
+    p_sweep.add_argument("--schemes", default=",".join(TRAFFIC_SCHEMES),
+                         help="comma-separated scheme names "
+                              f"(default: {','.join(TRAFFIC_SCHEMES)})")
+    p_sweep.add_argument("--sms", type=int, default=4)
+    p_sweep.add_argument("--scale", type=float, default=1.0)
+    p_sweep.add_argument("--seed", type=int, default=0,
+                         help="per-cell RNG seed (0 = default streams)")
+    p_sweep.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for uncached cells")
+    p_sweep.add_argument("--store", default=None, metavar="DIR",
+                         help="on-disk result store directory "
+                              "(default: in-memory, this run only)")
+
+    p_store = sub.add_parser("store", help="manage an on-disk result store")
+    p_store.add_argument("action", choices=["ls", "clear"])
+    p_store.add_argument("--store", default=None, metavar="DIR",
+                         help="store directory (default: $REPRO_STORE "
+                              "or .repro-store)")
 
     p_prof = sub.add_parser("profile", help="reuse-distance analysis")
     p_prof.add_argument("app")
@@ -138,6 +170,73 @@ def cmd_figure(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    apps = ALL_APPS if args.apps == "all" else [
+        a.strip().upper() for a in args.apps.split(",") if a.strip()
+    ]
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    for scheme in schemes:
+        if scheme not in SCHEME_LABELS:
+            raise ValueError(
+                f"unknown scheme {scheme!r}; expected one of {sorted(SCHEME_LABELS)}"
+            )
+    executor = SweepExecutor(store=open_store(args.store), jobs=args.jobs)
+    results = executor.run_sweep(
+        apps, schemes, num_sms=args.sms, scale=args.scale, seed=args.seed
+    )
+    rows = [
+        (
+            app,
+            SCHEME_LABELS[scheme],
+            str(r.cycles),
+            f"{r.ipc:.4g}",
+            f"{r.l1d.hit_rate:.3f}",
+            str(r.l1d.bypasses),
+        )
+        for app, per_scheme in results.items()
+        for scheme, r in per_scheme.items()
+    ]
+    print(ascii_table(
+        ["App", "Scheme", "Cycles", "IPC", "Hit rate", "Bypasses"],
+        rows,
+        title=f"sweep: {len(apps)} apps x {len(schemes)} schemes "
+              f"({args.sms} SMs, scale {args.scale:g}, jobs {args.jobs})",
+    ))
+    ex, st = executor.stats, executor.store.stats
+    print(
+        f"\nexecutor: simulated {ex.simulated} cells, "
+        f"{ex.store_hits} store hits, {ex.deduped} deduped"
+    )
+    print(f"store: {st.hits} hits, {st.misses} misses, {st.puts} puts")
+    return 0
+
+
+def cmd_store(args) -> int:
+    store = ResultStore(args.store or default_store_dir())
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entries from {store.root}")
+        return 0
+    entries = store.ls()
+    rows = [
+        (
+            e["key"][:12],
+            str(e.get("abbr", "?")),
+            str(e.get("scheme", "?")),
+            str(e.get("num_sms", "?")),
+            f"{e.get('scale', 1.0):g}",
+            str(e.get("seed", 0)),
+        )
+        for e in entries
+    ]
+    print(ascii_table(
+        ["Key", "App", "Scheme", "SMs", "Scale", "Seed"],
+        rows,
+        title=f"{store.root}: {len(entries)} entries",
+    ))
+    return 0
+
+
 def cmd_profile(args) -> int:
     from repro.experiments.cachesim import profile_reuse
 
@@ -172,6 +271,8 @@ _COMMANDS = {
     "run": cmd_run,
     "compare": cmd_compare,
     "figure": cmd_figure,
+    "sweep": cmd_sweep,
+    "store": cmd_store,
     "profile": cmd_profile,
     "list": cmd_list,
 }

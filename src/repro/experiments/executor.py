@@ -1,0 +1,232 @@
+"""Parallel sweep executor: fan an experiment grid across processes.
+
+The unit of work is a :class:`Cell` — one ``(workload, scheme, config)``
+simulation.  :class:`SweepExecutor` resolves each cell against a result
+store (see :mod:`repro.experiments.store`) and only simulates the
+misses, either serially in-process (``jobs=1``) or on a
+:class:`~concurrent.futures.ProcessPoolExecutor` (``jobs>=2``).
+
+Correctness invariants (enforced by the differential oracle in
+``tests/oracle.py`` / ``tests/integration/test_executor_differential.py``):
+
+* serial and parallel execution of the same grid yield bit-identical
+  :class:`~repro.gpu.simulator.SimResult` payloads — each cell's
+  workload RNG is seeded deterministically from the cell itself
+  (:func:`repro.utils.rng.derive_seed`), never from worker identity or
+  submission order;
+* cold-store and warm-store runs yield bit-identical payloads — both
+  paths round-trip results through ``SimResult.to_dict``/``from_dict``,
+  so a freshly simulated result and a replayed one are the same object
+  shape bit for bit.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.simulator import SimResult
+from repro.experiments.store import MemoryStore, cell_key
+from repro.utils.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One experiment-grid cell, hashable and picklable.
+
+    ``policy_kwargs`` is a sorted tuple of ``(name, value)`` pairs so the
+    cell stays hashable; build cells through :meth:`make` to get the
+    normalisation (upper-cased abbr, sorted kwargs) for free.
+    """
+
+    abbr: str
+    scheme: str
+    num_sms: int = 4
+    scale: float = 1.0
+    seed: int = 0
+    max_cycles: Optional[int] = None
+    policy_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    config: Optional[GPUConfig] = None
+
+    @classmethod
+    def make(
+        cls,
+        abbr: str,
+        scheme: str,
+        num_sms: int = 4,
+        scale: float = 1.0,
+        seed: int = 0,
+        max_cycles: Optional[int] = None,
+        config: Optional[GPUConfig] = None,
+        **policy_kwargs,
+    ) -> "Cell":
+        return cls(
+            abbr=abbr.upper(),
+            scheme=scheme,
+            num_sms=num_sms,
+            scale=scale,
+            seed=seed,
+            max_cycles=max_cycles,
+            policy_kwargs=tuple(sorted(policy_kwargs.items())),
+            config=config,
+        )
+
+    def resolved_config(self) -> GPUConfig:
+        """Explicit config wins; otherwise the scaled harness machine."""
+        return self.config if self.config is not None else GPUConfig().scaled(self.num_sms)
+
+    def key(self) -> str:
+        return cell_key(
+            self.abbr,
+            self.scheme,
+            self.resolved_config(),
+            scale=self.scale,
+            seed=self.seed,
+            max_cycles=self.max_cycles,
+            policy_kwargs=dict(self.policy_kwargs),
+        )
+
+    def meta(self) -> Dict[str, Any]:
+        """Human-readable store metadata (what ``repro store ls`` shows)."""
+        return {
+            "abbr": self.abbr,
+            "scheme": self.scheme,
+            "num_sms": self.resolved_config().num_sms,
+            "scale": self.scale,
+            "seed": self.seed,
+        }
+
+
+def simulate_cell(cell: Cell) -> Dict[str, Any]:
+    """Run one cell and return its serialized result (worker entry point).
+
+    Workload RNG streams are keyed by ``derive_seed(cell.key(), seed)``
+    when the cell carries a nonzero seed, so results depend only on the
+    cell's identity — the same cell simulated by any worker, in any
+    order, produces the same payload.  Returns a plain dict (not a
+    ``SimResult``) so the payload crossing the process boundary is the
+    exact on-disk representation.
+    """
+    # Imported lazily: the runner imports this module, and pool workers
+    # re-import repro anyway.
+    from repro.experiments.runner import run_workload
+
+    workload_seed = derive_seed(cell.key(), cell.seed) if cell.seed else 0
+    result = run_workload(
+        cell.abbr,
+        cell.scheme,
+        cell.resolved_config(),
+        scale=cell.scale,
+        seed=workload_seed,
+        max_cycles=cell.max_cycles,
+        **dict(cell.policy_kwargs),
+    )
+    return result.to_dict()
+
+
+@dataclass
+class ExecutorStats:
+    """What the executor actually did (vs. resolved from the store)."""
+
+    simulated: int = 0
+    store_hits: int = 0
+    deduped: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "simulated": self.simulated,
+            "store_hits": self.store_hits,
+            "deduped": self.deduped,
+        }
+
+
+class SweepExecutor:
+    """Resolve experiment cells through a store, simulating only misses.
+
+    Parameters
+    ----------
+    store:
+        Any object with the store interface (``get``/``put``/``clear``/
+        ``stats``); defaults to a fresh :class:`MemoryStore`, which makes
+        a bare executor behave like the old per-process ``lru_cache``.
+    jobs:
+        Worker processes for miss simulation.  1 = serial in-process
+        (no pool, no pickling); >=2 = ``ProcessPoolExecutor``.
+    """
+
+    def __init__(self, store=None, jobs: int = 1) -> None:
+        self.store = store if store is not None else MemoryStore()
+        self.jobs = max(1, int(jobs))
+        self.stats = ExecutorStats()
+
+    # ------------------------------------------------------------------
+
+    def run_cell(self, cell: Cell) -> SimResult:
+        return self.run_cells([cell])[0]
+
+    def run_cells(self, cells: Iterable[Cell]) -> List[SimResult]:
+        """Resolve a batch of cells, preserving input order.
+
+        Duplicate cells (same key) are simulated at most once; store
+        misses fan out across the worker pool when ``jobs >= 2``.
+        """
+        cells = list(cells)
+        keys = [cell.key() for cell in cells]
+        resolved: Dict[str, SimResult] = {}
+        pending: Dict[str, Cell] = {}
+        for key, cell in zip(keys, cells):
+            if key in resolved or key in pending:
+                self.stats.deduped += 1
+                continue
+            cached = self.store.get(key)
+            if cached is not None:
+                resolved[key] = cached
+                self.stats.store_hits += 1
+            else:
+                pending[key] = cell
+        if pending:
+            for key, payload in self._simulate_all(pending):
+                result = SimResult.from_dict(payload)
+                self.store.put(key, result, meta=pending[key].meta())
+                resolved[key] = result
+            self.stats.simulated += len(pending)
+        return [resolved[key] for key in keys]
+
+    def run_sweep(
+        self,
+        apps: Sequence[str],
+        schemes: Sequence[str],
+        num_sms: int = 4,
+        scale: float = 1.0,
+        seed: int = 0,
+        **policy_kwargs,
+    ) -> Dict[str, Dict[str, SimResult]]:
+        """The full app x scheme matrix as ``{app: {scheme: result}}``."""
+        apps = [a.upper() for a in apps]
+        grid = [
+            Cell.make(app, scheme, num_sms=num_sms, scale=scale, seed=seed,
+                      **policy_kwargs)
+            for app in apps
+            for scheme in schemes
+        ]
+        flat = iter(self.run_cells(grid))
+        return {app: {scheme: next(flat) for scheme in schemes} for app in apps}
+
+    # ------------------------------------------------------------------
+
+    def _simulate_all(
+        self, pending: Dict[str, Cell]
+    ) -> List[Tuple[str, Dict[str, Any]]]:
+        items = list(pending.items())
+        if self.jobs == 1 or len(items) == 1:
+            return [(key, simulate_cell(cell)) for key, cell in items]
+        out: List[Tuple[str, Dict[str, Any]]] = []
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(items))) as pool:
+            futures = {
+                pool.submit(simulate_cell, cell): key for key, cell in items
+            }
+            for future in as_completed(futures):
+                out.append((futures[future], future.result()))
+        return out

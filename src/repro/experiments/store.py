@@ -1,0 +1,222 @@
+"""Content-addressed on-disk store for simulation results.
+
+Every experiment cell — one ``(workload, scheme, config)`` simulation —
+is identified by a key hashed over *everything that determines its
+outcome*: the workload abbreviation, scale and seed, the scheme name and
+policy kwargs, every :class:`~repro.gpu.config.GPUConfig` field, and a
+simulator version stamp.  Identical cells therefore share one store
+entry across processes and invocations, and any semantic change to the
+simulator is isolated by bumping :data:`SIM_VERSION`.
+
+**Versioning rule:** bump :data:`SIM_VERSION` whenever a change alters
+what any simulation *produces* (counters, timing, policy behaviour).
+Pure refactors that keep results bit-identical must not bump it — the
+differential oracle (``tests/oracle.py``) is the check for that.
+
+Two implementations share the same interface:
+
+* :class:`MemoryStore` — per-process dict; the default memoisation layer
+  (replaces the old ``lru_cache`` in the experiment runner).
+* :class:`ResultStore` — directory of JSON payloads, shared across
+  processes and invocations; what ``repro sweep --store DIR`` and the
+  benchmark harness use.
+
+Both count hits/misses/puts so tests can assert "the second sweep
+simulated nothing" on counters instead of wall clock.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.simulator import SimResult
+
+#: Bump on any change that alters simulation *semantics* (see module
+#: docstring); stale entries keyed under older stamps are simply never
+#: matched again and can be dropped with ``repro store clear``.
+SIM_VERSION = "1"
+
+#: Default on-disk location, overridable via the environment.
+STORE_ENV_VAR = "REPRO_STORE"
+DEFAULT_STORE_DIR = ".repro-store"
+
+
+def default_store_dir() -> str:
+    return os.environ.get(STORE_ENV_VAR, DEFAULT_STORE_DIR)
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON text: sorted keys, no whitespace."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def cell_fingerprint(
+    abbr: str,
+    scheme: str,
+    config: GPUConfig,
+    scale: float = 1.0,
+    seed: int = 0,
+    max_cycles: Optional[int] = None,
+    policy_kwargs: Optional[Mapping[str, Any]] = None,
+    sim_version: str = SIM_VERSION,
+) -> Dict[str, Any]:
+    """The full identity of one experiment cell, as plain JSON data."""
+    return {
+        "abbr": abbr.upper(),
+        "scheme": scheme,
+        "scale": scale,
+        "seed": seed,
+        "max_cycles": max_cycles,
+        "policy_kwargs": dict(policy_kwargs or {}),
+        "config": dataclasses.asdict(config),
+        "sim_version": sim_version,
+    }
+
+
+def cell_key(
+    abbr: str,
+    scheme: str,
+    config: GPUConfig,
+    scale: float = 1.0,
+    seed: int = 0,
+    max_cycles: Optional[int] = None,
+    policy_kwargs: Optional[Mapping[str, Any]] = None,
+    sim_version: str = SIM_VERSION,
+) -> str:
+    """Content-address of one cell: SHA-256 over the canonical
+    fingerprint JSON."""
+    text = canonical_json(
+        cell_fingerprint(
+            abbr, scheme, config, scale, seed, max_cycles,
+            policy_kwargs, sim_version,
+        )
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """Lookup/insert counters — the "was it cached?" oracle for tests."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "puts": self.puts}
+
+
+class MemoryStore:
+    """In-process result store (the default memoisation layer)."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, SimResult] = {}
+        self._meta: Dict[str, Dict[str, Any]] = {}
+        self.stats = StoreStats()
+
+    def get(self, key: str) -> Optional[SimResult]:
+        result = self._data.get(key)
+        if result is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: str, result: SimResult,
+            meta: Optional[Dict[str, Any]] = None) -> None:
+        self._data[key] = result
+        self._meta[key] = dict(meta or {})
+        self.stats.puts += 1
+
+    def ls(self) -> List[Dict[str, Any]]:
+        return [
+            {"key": key, **self._meta.get(key, {})}
+            for key in sorted(self._data)
+        ]
+
+    def clear(self) -> int:
+        count = len(self._data)
+        self._data.clear()
+        self._meta.clear()
+        return count
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+
+class ResultStore:
+    """Directory-backed result store, shared across processes.
+
+    Layout: one ``<key>.json`` file per cell under ``root``, holding
+    ``{"meta": {...human-readable cell summary...}, "result": {...}}``
+    where ``result`` is :meth:`SimResult.to_dict` output.  Writes are
+    atomic (tmp file + ``os.replace``) so concurrent sweeps sharing a
+    store directory never observe torn payloads.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = StoreStats()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[SimResult]:
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return SimResult.from_dict(payload["result"])
+
+    def put(self, key: str, result: SimResult,
+            meta: Optional[Dict[str, Any]] = None) -> None:
+        payload = {"meta": dict(meta or {}), "result": result.to_dict()}
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+        self.stats.puts += 1
+
+    def ls(self) -> List[Dict[str, Any]]:
+        entries = []
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text())
+            except json.JSONDecodeError:  # torn/foreign file: skip, don't die
+                continue
+            entries.append({"key": path.stem, **payload.get("meta", {})})
+        return entries
+
+    def clear(self) -> int:
+        count = 0
+        for path in self.root.glob("*.json"):
+            path.unlink()
+            count += 1
+        return count
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+
+def open_store(spec: Optional[str]):
+    """``None`` -> fresh :class:`MemoryStore`; a path -> :class:`ResultStore`."""
+    if spec is None:
+        return MemoryStore()
+    return ResultStore(spec)

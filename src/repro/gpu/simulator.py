@@ -69,6 +69,45 @@ class SimResult:
             return 0.0
         return self.l1d.accesses / self.thread_insns
 
+    def to_dict(self) -> Dict:
+        """JSON-serializable form; :meth:`from_dict` is the exact inverse.
+
+        Used by the on-disk result store and the differential oracle, so
+        it must be lossless: only raw counters are stored and every field
+        round-trips bit-identically through ``json.dumps``/``loads``.
+        """
+        return {
+            "cycles": self.cycles,
+            "thread_insns": self.thread_insns,
+            "warp_insns": self.warp_insns,
+            "l1d": self.l1d.to_raw_dict(),
+            "interconnect": dict(self.interconnect),
+            "l2": dict(self.l2),
+            "dram": dict(self.dram),
+            "policy": dict(self.policy),
+            "per_sm_l1d": [dict(d) for d in self.per_sm_l1d],
+            "ldst_stall_cycles": self.ldst_stall_cycles,
+            "hit_completions": self.hit_completions,
+            "truncated": self.truncated,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SimResult":
+        return cls(
+            cycles=int(data["cycles"]),
+            thread_insns=int(data["thread_insns"]),
+            warp_insns=int(data["warp_insns"]),
+            l1d=L1DStats.from_raw_dict(data["l1d"]),
+            interconnect=dict(data["interconnect"]),
+            l2=dict(data["l2"]),
+            dram=dict(data["dram"]),
+            policy=dict(data["policy"]),
+            per_sm_l1d=[dict(d) for d in data.get("per_sm_l1d", [])],
+            ldst_stall_cycles=int(data.get("ldst_stall_cycles", 0)),
+            hit_completions=int(data.get("hit_completions", 0)),
+            truncated=bool(data.get("truncated", False)),
+        )
+
     def summary(self) -> Dict[str, float]:
         return {
             "cycles": self.cycles,

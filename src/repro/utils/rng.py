@@ -53,6 +53,17 @@ class DeterministicRng:
         return np.searchsorted(cdf, u).astype(np.int64)
 
 
+def derive_seed(key: str, salt: int = 0) -> int:
+    """Stable 32-bit seed for a string key + integer salt.
+
+    The sweep executor derives one seed per experiment cell from the
+    cell's store key, so every (workload, scheme, seed) cell gets an
+    independent but reproducible stream regardless of which worker
+    process runs it.
+    """
+    return (fnv1a_32(salt) ^ _string_hash(key)) & 0xFFFFFFFF
+
+
 def _string_hash(s: str) -> int:
     h = 0x811C9DC5
     for ch in s.encode("utf-8"):

@@ -92,8 +92,22 @@ class Workload(abc.ABC):
             raise ValueError(f"scale must be positive, got {scale}")
         self.scale = scale
         self.addr = AddressMap()
+        self.seed = 0
         self.rng = DeterministicRng(self.meta.abbr)
         self._kernels: List[Kernel] | None = None
+
+    def reseed(self, seed: int) -> "Workload":
+        """Re-key the workload's RNG stream (``seed`` 0 = the default
+        stream).  Must be called before :meth:`kernels`; address streams
+        are generated lazily, so reseeding after generation would leave
+        stale kernels behind."""
+        if self._kernels is not None:
+            raise RuntimeError(
+                f"{self.meta.abbr}: cannot reseed after kernels were built"
+            )
+        self.seed = seed
+        self.rng = DeterministicRng(self.meta.abbr, salt=seed)
+        return self
 
     # -- abstract ----------------------------------------------------------
 

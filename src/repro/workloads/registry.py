@@ -56,8 +56,13 @@ CI_APPS: List[str] = [a for a, w in WORKLOADS.items() if w.meta.paper_type == "C
 ALL_APPS: List[str] = list(WORKLOADS)
 
 
-def make_workload(abbr: str, scale: float = 1.0) -> Workload:
-    """Instantiate a Table 2 benchmark model by its abbreviation."""
+def make_workload(abbr: str, scale: float = 1.0, seed: int = 0) -> Workload:
+    """Instantiate a Table 2 benchmark model by its abbreviation.
+
+    ``seed`` re-keys the workload's deterministic RNG stream (0 keeps the
+    default stream every figure uses); the sweep executor threads a
+    per-cell seed through here so seeded cells stay reproducible.
+    """
     key = abbr.upper()
     try:
         cls = WORKLOADS[key]
@@ -65,7 +70,10 @@ def make_workload(abbr: str, scale: float = 1.0) -> Workload:
         raise ValueError(
             f"unknown workload {abbr!r}; expected one of {ALL_APPS}"
         ) from None
-    return cls(scale=scale)
+    workload = cls(scale=scale)
+    if seed:
+        workload.reseed(seed)
+    return workload
 
 
 def table2_rows():

@@ -1,0 +1,1 @@
+"""Test package (keeps pytest module names stable under rootdir collection)."""

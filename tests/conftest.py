@@ -8,6 +8,21 @@ from repro.cache.tagarray import CacheGeometry
 from repro.gpu.config import GPUConfig, L1DConfig
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from the current simulator "
+             "instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture
 def baseline_geometry() -> CacheGeometry:
     """Table 1 L1D: 32 sets x 4 ways x 128 B, hashed index."""

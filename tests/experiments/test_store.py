@@ -1,0 +1,129 @@
+"""Result store: keys, round-trips, counters, versioning."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.runner import harness_config, run_workload
+from repro.experiments.store import (
+    SIM_VERSION,
+    MemoryStore,
+    ResultStore,
+    canonical_json,
+    cell_fingerprint,
+    cell_key,
+    open_store,
+)
+from repro.gpu.simulator import SimResult
+
+
+@pytest.fixture(scope="module")
+def small_result() -> SimResult:
+    return run_workload("MM", "dlp", harness_config(1), scale=0.1)
+
+
+class TestCellKey:
+    def test_key_is_stable(self):
+        cfg = harness_config(1)
+        assert cell_key("MM", "dlp", cfg) == cell_key("MM", "dlp", cfg)
+
+    def test_key_normalises_nothing_but_hashes_everything(self):
+        cfg = harness_config(1)
+        base = cell_key("MM", "dlp", cfg)
+        assert cell_key("MM", "baseline", cfg) != base
+        assert cell_key("HS", "dlp", cfg) != base
+        assert cell_key("MM", "dlp", harness_config(2)) != base
+        assert cell_key("MM", "dlp", cfg, scale=0.5) != base
+        assert cell_key("MM", "dlp", cfg, seed=1) != base
+        assert cell_key("MM", "dlp", cfg, max_cycles=10) != base
+        assert cell_key("MM", "dlp", cfg, policy_kwargs={"sample_limit": 9}) != base
+
+    def test_abbr_case_insensitive(self):
+        cfg = harness_config(1)
+        assert cell_key("mm", "dlp", cfg) == cell_key("MM", "dlp", cfg)
+
+    def test_version_stamp_isolates_semantic_changes(self):
+        cfg = harness_config(1)
+        assert cell_key("MM", "dlp", cfg) != cell_key(
+            "MM", "dlp", cfg, sim_version=SIM_VERSION + "-next"
+        )
+
+    def test_fingerprint_covers_config_fields(self):
+        fp = cell_fingerprint("MM", "dlp", harness_config(1))
+        assert fp["config"]["num_sms"] == 1
+        assert fp["config"]["l1d"]["assoc"] == 4
+        assert fp["sim_version"] == SIM_VERSION
+
+    def test_policy_kwarg_order_is_irrelevant(self):
+        cfg = harness_config(1)
+        assert cell_key(
+            "MM", "dlp", cfg, policy_kwargs={"a": 1, "b": 2}
+        ) == cell_key("MM", "dlp", cfg, policy_kwargs={"b": 2, "a": 1})
+
+
+class TestSerialization:
+    def test_simresult_roundtrip_is_lossless(self, small_result):
+        reloaded = SimResult.from_dict(
+            json.loads(json.dumps(small_result.to_dict()))
+        )
+        assert reloaded == small_result
+        assert canonical_json(reloaded.to_dict()) == canonical_json(
+            small_result.to_dict()
+        )
+
+    def test_l1d_raw_dict_excludes_derived_metrics(self, small_result):
+        raw = small_result.l1d.to_raw_dict()
+        assert "hit_rate" not in raw
+        assert "loads" in raw and "stalls" in raw
+
+
+@pytest.mark.parametrize("make_store", [
+    lambda tmp: MemoryStore(),
+    lambda tmp: ResultStore(tmp),
+], ids=["memory", "disk"])
+class TestStoreInterface:
+    def test_get_put_roundtrip(self, make_store, tmp_path, small_result):
+        store = make_store(tmp_path)
+        key = "k" * 64
+        assert store.get(key) is None
+        store.put(key, small_result, meta={"abbr": "MM"})
+        assert store.get(key) == small_result
+        assert key in store
+        assert len(store) == 1
+
+    def test_counters(self, make_store, tmp_path, small_result):
+        store = make_store(tmp_path)
+        store.get("absent")
+        store.put("k1", small_result)
+        store.get("k1")
+        assert store.stats.as_dict() == {"hits": 1, "misses": 1, "puts": 1}
+
+    def test_ls_and_clear(self, make_store, tmp_path, small_result):
+        store = make_store(tmp_path)
+        store.put("b" * 64, small_result, meta={"abbr": "MM", "scheme": "dlp"})
+        store.put("a" * 64, small_result, meta={"abbr": "HS", "scheme": "dlp"})
+        entries = store.ls()
+        assert [e["key"] for e in entries] == ["a" * 64, "b" * 64]
+        assert entries[0]["abbr"] == "HS"
+        assert store.clear() == 2
+        assert len(store) == 0
+
+
+class TestDiskStore:
+    def test_persists_across_instances(self, tmp_path, small_result):
+        ResultStore(tmp_path).put("k" * 64, small_result)
+        assert ResultStore(tmp_path).get("k" * 64) == small_result
+
+    def test_torn_payload_reads_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        (tmp_path / ("k" * 64 + ".json")).write_text("{not json")
+        assert store.get("k" * 64) is None
+        assert store.ls() == []
+
+    def test_open_store(self, tmp_path):
+        assert isinstance(open_store(None), MemoryStore)
+        disk = open_store(str(tmp_path / "sub"))
+        assert isinstance(disk, ResultStore)
+        assert disk.root.is_dir()

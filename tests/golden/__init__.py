@@ -1,0 +1,1 @@
+"""Golden-trace regression suite (see test_golden_traces.py)."""

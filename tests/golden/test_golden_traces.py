@@ -1,0 +1,153 @@
+"""Golden-trace regression tests for all four cache policies.
+
+A fixed synthetic access stream (hot reuse + streaming + medium-distance
+zipf + write-through stores, four static PCs) drives a small L1D under
+each policy; the resulting counter snapshot — L1D raw counters, policy
+stats (bypasses, VTA hits, sample counts) and the final protection
+distances — is compared field-for-field against ``tests/golden/*.json``.
+
+Any semantic change to the cache protocol or a policy shows up here as a
+readable diff.  If the change is intentional, regenerate the snapshots
+(and bump ``repro.experiments.store.SIM_VERSION``!) with::
+
+    python -m pytest tests/golden -q --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+
+import pytest
+
+from repro.cache.l1d import AccessOutcome, L1DCache, MemAccess
+from repro.cache.tagarray import CacheGeometry
+from repro.core import make_policy
+from repro.utils.hashing import hash_pc
+from repro.utils.rng import DeterministicRng
+
+GOLDEN_DIR = Path(__file__).parent
+POLICIES = ("baseline", "stall_bypass", "global_protection", "dlp")
+
+#: Static PCs of the synthetic kernel, one per access class.
+PC_HOT, PC_STREAM, PC_MEDIUM, PC_WRITE = 0x100, 0x200, 0x300, 0x400
+
+
+def synthetic_stream():
+    """Deterministic (block, pc, is_write) stream, identical every run.
+
+    Mixes the reuse classes of paper Fig. 3: a small hot set revisited at
+    short distance (protectable), a pure stream (cache-polluting), a
+    zipf-skewed medium-distance class, and sparse write-through stores.
+    """
+    rng = DeterministicRng("golden-trace")
+    hot = [0x1000 + i for i in range(6)]
+    medium_pool = [0x2000 + i for i in range(24)]
+    stream_next = 0x8000
+    accesses = []
+    for step in range(600):
+        roll = float(rng.random())
+        if roll < 0.45:
+            block = hot[int(rng.integers(0, len(hot)))]
+            accesses.append((block, PC_HOT, False))
+        elif roll < 0.75:
+            accesses.append((stream_next, PC_STREAM, False))
+            stream_next += 1
+        elif roll < 0.93:
+            idx = int(rng.zipf_indices(len(medium_pool), 1)[0])
+            accesses.append((medium_pool[idx], PC_MEDIUM, False))
+        else:
+            block = medium_pool[int(rng.integers(0, len(medium_pool)))]
+            accesses.append((block, PC_WRITE, True))
+    return accesses
+
+
+def run_trace(policy_name: str) -> dict:
+    """Drive the fixed stream through one policy; return its snapshot."""
+    policy = make_policy(policy_name)
+    cache = L1DCache(
+        CacheGeometry(num_sets=8, assoc=2, line_size=128, index_fn="linear"),
+        policy,
+        mshr_entries=8,
+        mshr_merge=4,
+        miss_queue_depth=8,
+    )
+    outstanding: deque = deque()
+
+    def fill_oldest() -> bool:
+        if not outstanding:
+            return False
+        cache.fill(outstanding.popleft(), now=0)
+        return True
+
+    for step, (block, pc, is_write) in enumerate(synthetic_stream()):
+        access = MemAccess(
+            block_addr=block, pc=pc, insn_id=hash_pc(pc),
+            is_write=is_write, now=step,
+        )
+        result = cache.access(access)
+        while result.is_stall:
+            if not fill_oldest():
+                raise RuntimeError(f"stalled with no outstanding fill: {access}")
+            cache.drain_miss_queue(8)
+            result = cache.access(access)
+        if result.outcome is AccessOutcome.MISS:
+            outstanding.append(block)
+        cache.drain_miss_queue(2)
+        # keep a bounded number of misses in flight, like the LD/ST unit
+        while len(outstanding) > 4:
+            fill_oldest()
+        if step % 8 == 7:
+            policy.notify_instructions(64)
+    while fill_oldest():
+        pass
+    cache.drain_miss_queue(8)
+
+    if policy_name == "dlp":
+        final_pds = {
+            str(insn_id): entry["pd"]
+            for insn_id, entry in sorted(policy.pd_snapshot().items())
+        }
+    elif policy_name == "global_protection":
+        final_pds = {"global": policy.global_pd}
+    else:
+        final_pds = {}
+    return {
+        "l1d": cache.stats.to_raw_dict(),
+        "policy": {k: v for k, v in sorted(policy.stats().items())},
+        "final_pds": final_pds,
+    }
+
+
+@pytest.mark.parametrize("policy_name", POLICIES)
+def test_golden_trace(policy_name, update_golden):
+    snapshot = run_trace(policy_name)
+    path = GOLDEN_DIR / f"{policy_name}.json"
+    if update_golden:
+        path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        return
+    assert path.exists(), (
+        f"missing golden snapshot {path.name}; generate with "
+        f"`python -m pytest tests/golden --update-golden`"
+    )
+    golden = json.loads(path.read_text())
+    assert snapshot == golden, (
+        f"{policy_name}: counters diverged from golden snapshot; if the "
+        f"change is intentional, rerun with --update-golden and bump "
+        f"SIM_VERSION"
+    )
+
+
+def test_stream_is_deterministic():
+    assert synthetic_stream() == synthetic_stream()
+
+
+def test_snapshots_distinguish_policies():
+    """The stream must actually exercise policy differences — identical
+    snapshots across policies would make the goldens vacuous."""
+    snaps = {name: run_trace(name) for name in POLICIES}
+    assert snaps["stall_bypass"] != snaps["baseline"]
+    assert snaps["dlp"] != snaps["baseline"]
+    assert snaps["dlp"]["policy"].get("vta_hits", 0) > 0
+    assert snaps["dlp"]["final_pds"]

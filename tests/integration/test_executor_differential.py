@@ -1,0 +1,94 @@
+"""Differential oracle for the parallel sweep executor.
+
+Acceptance gate for every executor/store perf change: a >= 3 workload x
+4 scheme grid must produce bit-identical ``SimResult`` payloads when run
+
+* serially vs on a >= 2-worker process pool,
+* against a cold on-disk store vs a warm one,
+
+and a warm-store rerun must perform **zero** simulations (asserted on
+store/executor counters, not wall clock).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.executor import SweepExecutor
+from repro.experiments.store import MemoryStore, ResultStore
+from tests.oracle import (
+    DEFAULT_APPS,
+    DEFAULT_SCHEMES,
+    assert_grids_identical,
+    make_cells,
+    run_grid,
+)
+
+CELLS = make_cells()
+
+
+@pytest.fixture(scope="module")
+def serial_grid():
+    """Reference run: serial, in-memory, no store reuse."""
+    return run_grid(SweepExecutor(MemoryStore(), jobs=1), CELLS)
+
+
+@pytest.fixture(scope="module")
+def cold_run(tmp_path_factory):
+    """One cold pass against a fresh on-disk store; warm tests reuse it."""
+    store_dir = tmp_path_factory.mktemp("result-store")
+    executor = SweepExecutor(ResultStore(store_dir), jobs=1)
+    grid = run_grid(executor, CELLS)
+    return store_dir, executor, grid
+
+
+class TestGridShape:
+    def test_grid_meets_acceptance_floor(self):
+        assert len(DEFAULT_APPS) >= 3
+        assert set(DEFAULT_SCHEMES) == {
+            "baseline", "stall_bypass", "global_protection", "dlp"
+        }
+
+
+class TestSerialVsParallel:
+    def test_parallel_identical_to_serial(self, serial_grid):
+        parallel = SweepExecutor(MemoryStore(), jobs=2)
+        parallel_grid = run_grid(parallel, CELLS)
+        assert parallel.stats.simulated == len(CELLS)
+        assert_grids_identical(serial_grid, parallel_grid)
+
+
+class TestColdVsWarmStore:
+    def test_cold_disk_run_identical_to_serial(self, serial_grid, cold_run):
+        _, executor, cold_grid = cold_run
+        assert executor.stats.simulated == len(CELLS)
+        assert executor.store.stats.puts == len(CELLS)
+        assert_grids_identical(serial_grid, cold_grid)
+
+    def test_warm_serial_rerun_simulates_nothing(self, serial_grid, cold_run):
+        store_dir, _, _ = cold_run
+        warm = SweepExecutor(ResultStore(store_dir), jobs=1)
+        warm_grid = run_grid(warm, CELLS)
+        assert warm.stats.simulated == 0
+        assert warm.store.stats.hits == len(CELLS)
+        assert warm.store.stats.misses == 0
+        assert_grids_identical(serial_grid, warm_grid)
+
+    def test_warm_parallel_rerun_simulates_nothing(self, serial_grid, cold_run):
+        store_dir, _, _ = cold_run
+        warm = SweepExecutor(ResultStore(store_dir), jobs=2)
+        warm_grid = run_grid(warm, CELLS)
+        assert warm.stats.simulated == 0
+        assert warm.store.stats.hits == len(CELLS)
+        assert_grids_identical(serial_grid, warm_grid)
+
+
+class TestDedup:
+    def test_duplicate_cells_simulated_once(self):
+        executor = SweepExecutor(MemoryStore(), jobs=1)
+        cell = next(iter(CELLS.values()))
+        r1, r2, r3 = executor.run_cells([cell, cell, cell])
+        assert executor.stats.simulated == 1
+        assert executor.stats.deduped == 2
+        assert_grids_identical({("a", "b"): r1}, {("a", "b"): r2})
+        assert_grids_identical({("a", "b"): r1}, {("a", "b"): r3})

@@ -1,0 +1,91 @@
+"""Differential oracle: prove two executions produced identical results.
+
+The sweep executor's whole value proposition is "faster, but
+bit-identical".  This module is the reusable check: run the same cell
+grid through two execution strategies (serial vs parallel, cold store vs
+warm store, in-memory vs on-disk) and assert every
+:class:`~repro.gpu.simulator.SimResult` matches *bit for bit* — the
+comparison is over canonical JSON of the full serialized payload, so an
+int silently becoming a float, a dropped stall counter or a reordered
+per-SM list all fail loudly.
+
+Any future perf PR that touches the simulator, the executor or the store
+should run its change through :func:`assert_grids_identical`; if the
+change is *meant* to alter results, that is exactly when
+``repro.experiments.store.SIM_VERSION`` must be bumped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.experiments.executor import Cell, SweepExecutor
+from repro.experiments.store import canonical_json
+from repro.gpu.simulator import SimResult
+
+GridKey = Tuple[str, str]
+Grid = Dict[GridKey, SimResult]
+
+#: Small-but-diverse default grid: MM (compute-friendly, short), HS
+#: (stencil) and BT (pointer-chasing) under all four policies, one SM,
+#: reduced inputs — a full pass costs about a second.
+DEFAULT_APPS: Tuple[str, ...] = ("MM", "HS", "BT")
+DEFAULT_SCHEMES: Tuple[str, ...] = (
+    "baseline", "stall_bypass", "global_protection", "dlp"
+)
+DEFAULT_NUM_SMS = 1
+DEFAULT_SCALE = 0.1
+
+
+def fingerprint(result: SimResult) -> str:
+    """Canonical JSON of the full serialized result (the comparison unit)."""
+    return canonical_json(result.to_dict())
+
+
+def make_cells(
+    apps: Sequence[str] = DEFAULT_APPS,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    num_sms: int = DEFAULT_NUM_SMS,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 0,
+) -> Dict[GridKey, Cell]:
+    return {
+        (app, scheme): Cell.make(
+            app, scheme, num_sms=num_sms, scale=scale, seed=seed
+        )
+        for app in apps
+        for scheme in schemes
+    }
+
+
+def run_grid(executor: SweepExecutor, cells: Dict[GridKey, Cell]) -> Grid:
+    """Resolve a cell grid through one executor, keyed by (app, scheme)."""
+    keys = list(cells)
+    results = executor.run_cells([cells[k] for k in keys])
+    return dict(zip(keys, results))
+
+
+def assert_results_identical(
+    a: SimResult, b: SimResult, label: str = ""
+) -> None:
+    """Bit-identical comparison of two results, with a readable diff."""
+    fa, fb = fingerprint(a), fingerprint(b)
+    if fa == fb:
+        return
+    da, db = a.to_dict(), b.to_dict()
+    diffs = []
+    for field in sorted(set(da) | set(db)):
+        if da.get(field) != db.get(field):
+            diffs.append(f"  {field}: {da.get(field)!r} != {db.get(field)!r}")
+    raise AssertionError(
+        f"SimResult mismatch{f' for {label}' if label else ''}:\n"
+        + "\n".join(diffs[:10])
+    )
+
+
+def assert_grids_identical(a: Grid, b: Grid) -> None:
+    assert set(a) == set(b), (
+        f"grid shape mismatch: {sorted(set(a) ^ set(b))}"
+    )
+    for key in sorted(a):
+        assert_results_identical(a[key], b[key], label=f"{key[0]}/{key[1]}")
