@@ -1,0 +1,84 @@
+"""Bench: 4-policy sweep economics — full simulation vs. trace replay.
+
+The replay engine's pitch is "1 capture + 4 replays instead of 4 full
+simulations".  This bench times both paths on two workloads, asserts the
+capture/replay accounting on counters (never wall clock), and writes
+``benchmarks/BENCH_trace_replay.json`` with the measured numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from conftest import bench_once
+
+from repro.analysis import ascii_table
+from repro.experiments.runner import harness_config, run_workload
+from repro.trace import RECORDER_STATS, capture_records, replay_records
+from repro.workloads import make_workload
+
+APPS = ("BFS", "KM")
+SCHEMES = ("baseline", "stall_bypass", "global_protection", "dlp")
+NUM_SMS = 2
+SCALE = 0.5
+
+BENCH_JSON = Path(__file__).parent / "BENCH_trace_replay.json"
+
+
+def collect():
+    config = harness_config(NUM_SMS)
+    out = {}
+    for app in APPS:
+        t0 = time.perf_counter()
+        for scheme in SCHEMES:
+            run_workload(app, scheme, config, scale=SCALE)
+        full_sim = time.perf_counter() - t0
+
+        RECORDER_STATS.reset()
+        t0 = time.perf_counter()
+        records = capture_records(make_workload(app, SCALE), config)
+        record_s = time.perf_counter() - t0
+        assert RECORDER_STATS.captures == 1  # one capture...
+
+        t0 = time.perf_counter()
+        for scheme in SCHEMES:
+            replay_records(records, config, scheme)
+        replay_s = time.perf_counter() - t0
+        assert RECORDER_STATS.captures == 1  # ...and replay never re-records
+
+        out[app] = {
+            "records": len(records),
+            "full_sim_s": round(full_sim, 4),
+            "record_s": round(record_s, 4),
+            "replay_s": round(replay_s, 4),
+            "record_plus_replay_s": round(record_s + replay_s, 4),
+            "speedup": round(full_sim / (record_s + replay_s), 2),
+        }
+    return out
+
+
+def test_trace_replay_economics(benchmark, show):
+    data = bench_once(benchmark, collect)
+    payload = {
+        "schemes": list(SCHEMES),
+        "num_sms": NUM_SMS,
+        "scale": SCALE,
+        "apps": data,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    show(ascii_table(
+        ["App", "Records", "4x full sim (s)", "record+4x replay (s)",
+         "speedup"],
+        [
+            (app, str(d["records"]), f"{d['full_sim_s']:.3f}",
+             f"{d['record_plus_replay_s']:.3f}", f"{d['speedup']:.1f}x")
+            for app, d in data.items()
+        ],
+        title="Trace replay vs. full simulation (4-policy sweep)",
+    ))
+    for app, d in data.items():
+        # the claim is structural (front-end skipped), so replay must
+        # win by a wide margin, not a timing-noise one
+        assert d["speedup"] > 1.5, (app, d)

@@ -12,14 +12,21 @@ behaviour can be inspected, asserted on, or rendered:
     ... run the simulation ...
     print(tracker.render())
 
+or, scoped (detaches even if the run raises)::
+
+    with PdTracker.attached(policy) as tracker:
+        ... run the simulation ...
+    print(tracker.render())
+
 Attachment is by wrapping the policy's ``_end_sample`` — no simulator
 support needed, and detaching restores the original method.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.analysis.report import ascii_table
 
@@ -71,6 +78,18 @@ class PdTracker:
 
         policy._end_sample = wrapped
         return tracker
+
+    @classmethod
+    @contextmanager
+    def attached(cls, policy) -> Iterator["PdTracker"]:
+        """Context-manager form of :meth:`attach_to`: the tracker is
+        detached on exit even when the simulated run raises, so a failed
+        experiment never leaves a wrapped ``_end_sample`` behind."""
+        tracker = cls.attach_to(policy)
+        try:
+            yield tracker
+        finally:
+            tracker.detach()
 
     def detach(self) -> None:
         if self._policy is not None and self._original_end_sample is not None:

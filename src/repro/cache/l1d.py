@@ -220,6 +220,11 @@ class L1DCache:
         self.send_fn = send_fn or (lambda req: None)
         self.sm_id = sm_id
         self.stats = L1DStats()
+        #: Optional observer called once per *completed* access as
+        #: ``tap(access, outcome)`` — stalled retries collapse to their
+        #: completion.  The trace recorder (repro.trace.record) hooks
+        #: here; None costs one falsy check per access.
+        self.access_tap: Optional[Callable[[MemAccess, AccessOutcome], None]] = None
         policy.attach(self)
 
     # ------------------------------------------------------------------
@@ -454,6 +459,8 @@ class L1DCache:
 
     def _done(self, access: MemAccess, outcome: AccessOutcome) -> None:
         self.policy.on_access_done(access, outcome)
+        if self.access_tap is not None:
+            self.access_tap(access, outcome)
 
     def reset_stats(self) -> None:
         self.stats = L1DStats()

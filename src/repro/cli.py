@@ -7,9 +7,11 @@ compare    all five schemes on one application (a Figs. 10-13 column)
 figure     regenerate one paper table/figure by name (fig2..fig13, table1,
            table2, overhead)
 sweep      run an app x scheme grid through the parallel executor,
-           optionally backed by an on-disk result store
+           optionally backed by an on-disk result store; ``--replay``
+           switches to record-once / replay-per-scheme
 store      inspect (``ls``) or wipe (``clear``) an on-disk result store
 profile    reuse-distance analysis of one application (Fig. 3/7 style)
+trace      record, inspect, replay and import memory traces
 list       the Table 2 application registry
 
 Examples
@@ -20,8 +22,13 @@ Examples
     python -m repro compare KM --sms 4
     python -m repro figure fig3
     python -m repro sweep --apps BFS,KM --jobs 4 --store .repro-store
+    python -m repro sweep --apps BFS,KM --replay --trace-dir .repro-traces
     python -m repro store ls
     python -m repro profile BFS
+    python -m repro trace record BFS --out bfs.rptr --scale 0.5
+    python -m repro trace info bfs.rptr
+    python -m repro trace replay bfs.rptr --verify
+    python -m repro trace import foreign.csv foreign.rptr
     python -m repro list
 """
 
@@ -51,6 +58,7 @@ from repro.experiments.runner import (
     run_workload,
 )
 from repro.experiments.store import ResultStore, default_store_dir, open_store
+from repro.trace.format import TraceFormatError
 from repro.workloads import ALL_APPS, make_workload, table2_rows
 
 _TIMING_FIGURES = {
@@ -107,6 +115,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--store", default=None, metavar="DIR",
                          help="on-disk result store directory "
                               "(default: in-memory, this run only)")
+    p_sweep.add_argument("--replay", action="store_true",
+                         help="record each app's access stream once and "
+                              "replay it per scheme (functional cache "
+                              "counters; no timing)")
+    p_sweep.add_argument("--trace-dir", default=None, metavar="DIR",
+                         help="with --replay: persist recorded traces here "
+                              "(default: in-memory, this run only)")
 
     p_store = sub.add_parser("store", help="manage an on-disk result store")
     p_store.add_argument("action", choices=["ls", "clear"])
@@ -117,6 +132,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof = sub.add_parser("profile", help="reuse-distance analysis")
     p_prof.add_argument("app")
     p_prof.add_argument("--sms", type=int, default=4)
+
+    p_trace = sub.add_parser(
+        "trace", help="record, inspect, replay and import memory traces"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    t_rec = trace_sub.add_parser(
+        "record", help="capture an app's coalesced L1D access stream"
+    )
+    t_rec.add_argument("app", help="Table 2 abbreviation (e.g. BFS)")
+    t_rec.add_argument("--out", required=True, metavar="FILE",
+                       help="trace file to write (.rptr)")
+    t_rec.add_argument("--sms", type=int, default=4)
+    t_rec.add_argument("--scale", type=float, default=1.0)
+    t_rec.add_argument("--seed", type=int, default=0)
+
+    t_info = trace_sub.add_parser(
+        "info", help="print a trace's header without decoding records"
+    )
+    t_info.add_argument("trace", metavar="FILE")
+
+    t_rep = trace_sub.add_parser(
+        "replay", help="drive cache policies from a recorded trace"
+    )
+    t_rep.add_argument("trace", metavar="FILE")
+    t_rep.add_argument("--schemes", default=",".join(TRAFFIC_SCHEMES),
+                       help="comma-separated scheme names "
+                            f"(default: {','.join(TRAFFIC_SCHEMES)})")
+    t_rep.add_argument("--sms", type=int, default=None,
+                       help="SM count for the replayed machine "
+                            "(default: the trace's own)")
+    t_rep.add_argument("--verify", action="store_true",
+                       help="re-run the functional path the trace was "
+                            "recorded from and require identical counters")
+
+    t_imp = trace_sub.add_parser(
+        "import", help="convert a text/CSV access trace to the native format"
+    )
+    t_imp.add_argument("src", metavar="SRC",
+                       help="text trace: sm_id block_addr pc is_write [warp_id]")
+    t_imp.add_argument("dest", metavar="DEST", help="native trace to write")
+    t_imp.add_argument("--sms", type=int, default=None,
+                       help="SM count (default: max sm_id + 1 in SRC)")
+    t_imp.add_argument("--line-size", type=int, default=128)
 
     sub.add_parser("list", help="list the Table 2 applications")
     return parser
@@ -180,6 +239,8 @@ def cmd_sweep(args) -> int:
             raise ValueError(
                 f"unknown scheme {scheme!r}; expected one of {sorted(SCHEME_LABELS)}"
             )
+    if args.replay:
+        return _replay_sweep(args, apps, schemes)
     executor = SweepExecutor(store=open_store(args.store), jobs=args.jobs)
     results = executor.run_sweep(
         apps, schemes, num_sms=args.sms, scale=args.scale, seed=args.seed
@@ -206,6 +267,42 @@ def cmd_sweep(args) -> int:
     print(
         f"\nexecutor: simulated {ex.simulated} cells, "
         f"{ex.store_hits} store hits, {ex.deduped} deduped"
+    )
+    print(f"store: {st.hits} hits, {st.misses} misses, {st.puts} puts")
+    return 0
+
+
+def _replay_sweep(args, apps, schemes) -> int:
+    from repro.trace.sweep import ReplaySweepExecutor
+
+    executor = ReplaySweepExecutor(
+        store=open_store(args.store), trace_dir=args.trace_dir
+    )
+    results = executor.run_sweep(
+        apps, schemes, num_sms=args.sms, scale=args.scale, seed=args.seed
+    )
+    rows = [
+        (
+            app,
+            SCHEME_LABELS[scheme],
+            f"{r.l1d.hit_rate:.3f}",
+            str(r.l1d.bypasses),
+            str(r.l1d.evictions_total),
+            str(int(r.interconnect.get("total_requests", 0))),
+        )
+        for app, per_scheme in results.items()
+        for scheme, r in per_scheme.items()
+    ]
+    print(ascii_table(
+        ["App", "Scheme", "Hit rate", "Bypasses", "Evictions", "Interconnect"],
+        rows,
+        title=f"replay sweep: {len(apps)} apps x {len(schemes)} schemes "
+              f"({args.sms} SMs, scale {args.scale:g})",
+    ))
+    tr, st = executor.stats, executor.store.stats
+    print(
+        f"\ntrace: recorded {tr.recorded} traces, {tr.trace_hits} trace hits; "
+        f"replayed {tr.replayed} cells, {tr.store_hits} store hits"
     )
     print(f"store: {st.hits} hits, {st.misses} misses, {st.puts} puts")
     return 0
@@ -258,6 +355,89 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from repro.trace import (
+        TraceReader,
+        import_text_trace,
+        record_app,
+        replay_trace,
+        replay_workload,
+    )
+
+    if args.trace_command == "record":
+        config = harness_config(args.sms)
+        path = record_app(args.app.upper(), args.out, config,
+                          scale=args.scale, seed=args.seed)
+        reader = TraceReader(path)
+        print(f"recorded {reader.total_records} records "
+              f"({reader.num_sms} SMs) -> {path}")
+        return 0
+
+    if args.trace_command == "info":
+        reader = TraceReader(args.trace)
+        info = reader.info()
+        rows = [(k, str(v)) for k, v in info.items()]
+        print(ascii_table(["field", "value"], rows, title=str(args.trace)))
+        return 0
+
+    if args.trace_command == "import":
+        reader = import_text_trace(args.src, args.dest, num_sms=args.sms,
+                                   line_size=args.line_size)
+        print(f"imported {reader.total_records} records "
+              f"({reader.num_sms} SMs) -> {args.dest}")
+        return 0
+
+    # replay
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    for scheme in schemes:
+        if scheme not in SCHEME_LABELS:
+            raise ValueError(
+                f"unknown scheme {scheme!r}; expected one of {sorted(SCHEME_LABELS)}"
+            )
+    reader = TraceReader(args.trace)
+    config = harness_config(args.sms) if args.sms is not None else None
+    results = {s: replay_trace(reader, s, config) for s in schemes}
+    rows = [
+        (
+            SCHEME_LABELS[s],
+            f"{r.l1d.hit_rate:.3f}",
+            str(r.l1d.bypasses),
+            str(r.l1d.evictions_total),
+            str(int(r.interconnect.get("total_requests", 0))),
+        )
+        for s, r in results.items()
+    ]
+    print(ascii_table(
+        ["Scheme", "Hit rate", "Bypasses", "Evictions", "Interconnect"],
+        rows,
+        title=f"replay of {args.trace} ({reader.total_records} records)",
+    ))
+    if args.verify:
+        meta = reader.meta
+        if meta.get("source") != "registry":
+            raise ValueError(
+                "--verify needs a registry-recorded trace "
+                f"(this one has source={meta.get('source')!r})"
+            )
+        workload_config = config or harness_config(reader.num_sms)
+        mismatches = 0
+        for scheme in schemes:
+            live = replay_workload(
+                make_workload(meta["abbr"], meta.get("scale", 1.0),
+                              seed=meta.get("seed", 0)),
+                workload_config, scheme,
+            )
+            ok = live.to_dict() == results[scheme].to_dict()
+            mismatches += 0 if ok else 1
+            print(f"verify {scheme}: {'identical' if ok else 'MISMATCH'}")
+        if mismatches:
+            print(f"verify: {mismatches} scheme(s) diverged", file=sys.stderr)
+            return 1
+        print("verify: replay identical to functional path "
+              f"for all {len(schemes)} schemes")
+    return 0
+
+
 def cmd_list(_args) -> int:
     print(ascii_table(
         ["Application", "Abbr.", "Suite", "Type", "Paper input", "Scaled input"],
@@ -274,6 +454,7 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "store": cmd_store,
     "profile": cmd_profile,
+    "trace": cmd_trace,
     "list": cmd_list,
 }
 
@@ -282,7 +463,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except ValueError as exc:
+    except (ValueError, TraceFormatError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except BrokenPipeError:  # output truncated by a shell pipe (| head)

@@ -32,15 +32,18 @@ def _mem_ops(trace) -> Iterator[MemOp]:
             yield op
 
 
-def interleaved_streams(
+def interleaved_accesses(
     workload: Workload, config: GPUConfig
-) -> Iterator[Tuple[int, int, int, bool]]:
-    """Yield (sm_id, block_addr, pc, is_write) in a GPU-like interleaving.
+) -> Iterator[Tuple[int, int, int, bool, int]]:
+    """Yield (sm_id, block_addr, pc, is_write, warp_id) in a GPU-like
+    interleaving.
 
     CTA placement is round-robin with ``max_ctas_per_sm`` residency;
     resident warps rotate, each contributing one memory instruction's
     coalesced requests per turn; finished warps are replaced by warps of
-    the next pending CTA on that SM.
+    the next pending CTA on that SM.  ``warp_id`` is the kernel-global
+    warp index (``cta * warps_per_cta + warp``), the identity the trace
+    recorder persists.
     """
     line = config.l1d.line_size
     for kernel in workload.kernels():
@@ -51,7 +54,9 @@ def interleaved_streams(
             config.max_warps_per_sm,
             config.max_ctas_per_sm * kernel.warps_per_cta,
         )
-        active: List[List[Iterator[MemOp]]] = [[] for _ in range(config.num_sms)]
+        active: List[List[Tuple[int, Iterator[MemOp]]]] = [
+            [] for _ in range(config.num_sms)
+        ]
 
         def refill(sm: int) -> None:
             while (
@@ -60,7 +65,12 @@ def interleaved_streams(
             ):
                 cta = pending[sm].popleft()
                 for w in range(kernel.warps_per_cta):
-                    active[sm].append(_mem_ops(kernel.warp_trace(cta, w)))
+                    active[sm].append(
+                        (
+                            cta * kernel.warps_per_cta + w,
+                            _mem_ops(kernel.warp_trace(cta, w)),
+                        )
+                    )
 
         for sm in range(config.num_sms):
             refill(sm)
@@ -70,18 +80,30 @@ def interleaved_streams(
                 warps = active[sm]
                 i = 0
                 while i < len(warps):
-                    op = next(warps[i], None)
+                    warp_id, ops = warps[i]
+                    op = next(ops, None)
                     if op is None:
                         warps.pop(i)
                         continue
                     for block in coalesce(op.addrs, line):
-                        yield sm, block, op.pc, op.is_write
+                        yield sm, block, op.pc, op.is_write, warp_id
                     i += 1
                 refill(sm)
             if not any(
                 active[sm] or pending[sm] for sm in range(config.num_sms)
             ):
                 break
+
+
+def interleaved_streams(
+    workload: Workload, config: GPUConfig
+) -> Iterator[Tuple[int, int, int, bool]]:
+    """Yield (sm_id, block_addr, pc, is_write) in a GPU-like interleaving.
+
+    Thin view over :func:`interleaved_accesses` that drops the warp
+    identity (the reuse profilers don't need it)."""
+    for sm, block, pc, is_write, _warp in interleaved_accesses(workload, config):
+        yield sm, block, pc, is_write
 
 
 def profile_reuse(

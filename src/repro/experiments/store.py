@@ -101,6 +101,79 @@ def cell_key(
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
+# ----------------------------------------------------------------------
+# trace-aware keys (repro.trace)
+# ----------------------------------------------------------------------
+
+#: Bump whenever the trace *capture* semantics change (what the
+#: functional interleaving emits, or the on-disk record contents).
+TRACE_VERSION = "1"
+
+
+def stream_fingerprint(
+    abbr: str,
+    config: GPUConfig,
+    scale: float = 1.0,
+    seed: int = 0,
+    trace_version: str = TRACE_VERSION,
+) -> Dict[str, Any]:
+    """Identity of one workload's *access stream*, as plain JSON data.
+
+    Deliberately narrower than :func:`cell_fingerprint`: only the fields
+    that shape the coalesced L1D stream enter (CTA placement, residency,
+    line granularity) — never the scheme, cache associativity or timing
+    parameters.  Cells that differ only in those therefore share one
+    recorded trace.
+    """
+    return {
+        "abbr": abbr.upper(),
+        "scale": scale,
+        "seed": seed,
+        "num_sms": config.num_sms,
+        "max_ctas_per_sm": config.max_ctas_per_sm,
+        "max_warps_per_sm": config.max_warps_per_sm,
+        "line_size": config.l1d.line_size,
+        "trace_version": trace_version,
+    }
+
+
+def trace_key(
+    abbr: str,
+    config: GPUConfig,
+    scale: float = 1.0,
+    seed: int = 0,
+    trace_version: str = TRACE_VERSION,
+) -> str:
+    """Content-address of one recorded access stream."""
+    text = canonical_json(
+        stream_fingerprint(abbr, config, scale, seed, trace_version)
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def replay_cell_key(
+    abbr: str,
+    scheme: str,
+    config: GPUConfig,
+    scale: float = 1.0,
+    seed: int = 0,
+    policy_kwargs: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """Content-address of one *replayed* cell.
+
+    Replay results live in the same stores as timing results but under a
+    distinct mode tag — a trace-driven functional replay and a full
+    timing simulation of the same cell are different experiments and
+    must never collide.
+    """
+    fp = cell_fingerprint(
+        abbr, scheme, config, scale, seed, None, policy_kwargs,
+    )
+    fp["mode"] = "replay"
+    fp["trace_version"] = TRACE_VERSION
+    return hashlib.sha256(canonical_json(fp).encode("utf-8")).hexdigest()
+
+
 @dataclass
 class StoreStats:
     """Lookup/insert counters — the "was it cached?" oracle for tests."""

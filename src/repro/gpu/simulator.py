@@ -186,6 +186,14 @@ class GpuSimulator:
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, fn))
 
+    def attach_l1d_tap(self, tap) -> None:
+        """Install ``tap(access, outcome)`` on every SM's L1D.
+
+        The trace recorder uses this to capture the timing run's
+        L1D-visible access stream; pass ``None`` to detach."""
+        for sm in self.sms:
+            sm.l1d.access_tap = tap
+
     def _make_send(self, sm_id: int) -> Callable[[FetchRequest], None]:
         def send(fetch: FetchRequest) -> None:
             partition = self.partitions[

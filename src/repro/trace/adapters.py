@@ -1,0 +1,196 @@
+"""Adapters: foreign access traces in, first-class workloads out.
+
+Two layers:
+
+* :func:`import_text_trace` converts a plain-text / CSV access trace
+  (the interchange shape ATA-Cache-style shared-cache studies and the
+  ML-caching preprints publish) into the native binary format, so any
+  externally captured stream can be replayed through the four policies.
+* :class:`TraceWorkload` wraps a native trace file as a
+  :class:`~repro.workloads.base.Workload`: each SM stream becomes one
+  single-warp CTA whose :class:`~repro.gpu.isa.MemOp` sequence re-emits
+  the recorded line addresses.  Registered via
+  :func:`repro.workloads.registry.register_trace_workload`, an imported
+  trace then flows through every registry-driven path — ``repro run``,
+  sweeps, reuse profiling — like a Table 2 benchmark.
+
+Text format, one record per line (comma- or whitespace-separated)::
+
+    sm_id  block_addr  pc  is_write  [warp_id]
+
+``block_addr`` and ``pc`` accept decimal or 0x-hex; ``is_write`` accepts
+0/1, R/W, LD/ST (case-insensitive).  Blank lines and ``#`` comments are
+skipped; an optional header line naming the columns is detected and
+dropped.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from repro.gpu.isa import MemOp
+from repro.gpu.kernel import Kernel
+from repro.trace.format import (
+    TraceFormatError,
+    TraceReader,
+    TraceRecord,
+    write_trace,
+)
+from repro.workloads.base import Workload, WorkloadMeta
+
+_WRITE_TOKENS = {"1", "w", "st", "store", "true", "wr"}
+_READ_TOKENS = {"0", "r", "ld", "load", "false", "rd"}
+
+
+def _parse_int(token: str, line_no: int, column: str) -> int:
+    try:
+        return int(token, 0)  # accepts decimal and 0x-prefixed hex
+    except ValueError:
+        raise TraceFormatError(
+            f"line {line_no}: cannot parse {column} from {token!r}"
+        ) from None
+
+
+def _parse_is_write(token: str, line_no: int) -> bool:
+    lowered = token.lower()
+    if lowered in _WRITE_TOKENS:
+        return True
+    if lowered in _READ_TOKENS:
+        return False
+    raise TraceFormatError(
+        f"line {line_no}: cannot parse is_write from {token!r} "
+        f"(expected 0/1, R/W or LD/ST)"
+    )
+
+
+def iter_text_records(lines: Iterable[str]) -> Iterator[TraceRecord]:
+    """Parse text/CSV lines into records (see module docstring)."""
+    for line_no, raw in enumerate(lines, start=1):
+        text = raw.split("#", 1)[0].strip()
+        if not text:
+            continue
+        fields = [f.strip() for f in text.replace(",", " ").split()]
+        if line_no == 1 and not fields[0].lstrip("-").isdigit() \
+                and not fields[0].lower().startswith("0x"):
+            continue  # header row (column names)
+        if len(fields) < 4:
+            raise TraceFormatError(
+                f"line {line_no}: expected at least 4 fields "
+                f"(sm_id block_addr pc is_write [warp_id]), got {len(fields)}"
+            )
+        yield TraceRecord(
+            sm_id=_parse_int(fields[0], line_no, "sm_id"),
+            block_addr=_parse_int(fields[1], line_no, "block_addr"),
+            pc=_parse_int(fields[2], line_no, "pc"),
+            is_write=_parse_is_write(fields[3], line_no),
+            warp_id=_parse_int(fields[4], line_no, "warp_id")
+            if len(fields) > 4 else 0,
+        )
+
+
+def import_text_trace(
+    src,
+    dest,
+    num_sms: Optional[int] = None,
+    line_size: int = 128,
+    meta: Optional[Dict[str, Any]] = None,
+) -> TraceReader:
+    """Convert a text/CSV trace at ``src`` into a native trace at ``dest``.
+
+    ``num_sms`` defaults to ``max(sm_id) + 1`` over the input.  Returns a
+    reader over the written trace.
+    """
+    src = Path(src)
+    with open(src, "r", encoding="utf-8") as f:
+        records = list(iter_text_records(f))
+    if not records and num_sms is None:
+        raise TraceFormatError(f"{src}: no records to import")
+    inferred = max((r.sm_id for r in records), default=-1) + 1
+    num_sms = num_sms if num_sms is not None else max(inferred, 1)
+    if inferred > num_sms:
+        raise TraceFormatError(
+            f"{src}: records reference SM {inferred - 1} but num_sms={num_sms}"
+        )
+    header_meta = {"source": "import", "imported_from": src.name}
+    header_meta.update(meta or {})
+    write_trace(
+        dest, records, num_sms=num_sms, line_size=line_size, meta=header_meta,
+    )
+    return TraceReader(dest)
+
+
+# ----------------------------------------------------------------------
+# trace-backed workloads
+# ----------------------------------------------------------------------
+
+class TraceWorkload(Workload):
+    """A workload whose access structure *is* a recorded trace.
+
+    Each SM stream becomes one CTA with a single warp; CTA ``i`` lands
+    on SM ``i`` under the round-robin placement of both the functional
+    interleaving and the timing dispatcher (when the machine has at
+    least ``num_sms`` SMs), so per-SM access order — the only ordering
+    the private L1Ds see — is reproduced exactly.  Every op re-emits one
+    line address through a single active lane, so coalescing is the
+    identity.
+    """
+
+    meta = WorkloadMeta(
+        name="Trace-backed workload",
+        abbr="TRACE",
+        suite="imported",
+        paper_type="CI",
+        paper_input="n/a",
+        scaled_input="recorded trace",
+    )
+
+    def __init__(self, path, scale: float = 1.0):
+        # `scale` is accepted for registry compatibility; a recorded
+        # stream has no free input dimension to scale.
+        super().__init__(scale=1.0)
+        self.path = Path(path)
+        self.reader = TraceReader(self.path)
+        self._line_size = self.reader.line_size
+
+    def build_kernels(self) -> List[Kernel]:
+        reader = self.reader
+        line = self._line_size
+
+        def trace_fn(cta_id: int, warp_id: int) -> Iterator[MemOp]:
+            for rec in reader.sm_stream(cta_id):
+                addr = np.array([rec.block_addr * line], dtype=np.int64)
+                yield MemOp(rec.is_write, rec.pc, addr)
+
+        return [
+            Kernel(
+                name=f"trace:{self.path.stem}",
+                num_ctas=reader.num_sms,
+                warps_per_cta=1,
+                trace_fn=trace_fn,
+            )
+        ]
+
+
+def make_trace_workload_class(abbr: str, path, name: Optional[str] = None):
+    """Build a registry-compatible Workload subclass bound to ``path``."""
+    trace_path = Path(path)
+    reader = TraceReader(trace_path)  # validate eagerly: fail at registration
+
+    class _BoundTraceWorkload(TraceWorkload):
+        meta = WorkloadMeta(
+            name=name or f"Imported trace {trace_path.stem}",
+            abbr=abbr.upper(),
+            suite="imported",
+            paper_type="CI",
+            paper_input="n/a",
+            scaled_input=f"{reader.total_records} recorded accesses",
+        )
+
+        def __init__(self, scale: float = 1.0):
+            super().__init__(trace_path, scale=scale)
+
+    _BoundTraceWorkload.__name__ = f"TraceWorkload_{abbr.upper()}"
+    return _BoundTraceWorkload

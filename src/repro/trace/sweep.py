@@ -1,0 +1,203 @@
+"""Replay-mode sweeps: record each workload's stream once, replay it per
+scheme.
+
+A full (app x scheme) sweep through the timing simulator regenerates
+the workload and re-runs the GPU front end for every cell even though
+only the cache management differs — the coalesced access stream is
+identical across schemes by construction.  This executor exploits that:
+cells that differ only in scheme share one recorded trace (the trace key
+hashes the *stream* identity, never the scheme — see
+:func:`repro.experiments.store.stream_fingerprint`), so a 4-policy sweep
+costs 1 capture + 4 replays instead of 4 full simulations.
+
+Replay results resolve against the standard result store under
+replay-mode keys (:func:`repro.experiments.store.replay_cell_key`), so
+they warm-cache across invocations exactly like timing results while
+never colliding with them.  All accounting is exposed as counters
+(:class:`ReplaySweepStats` + the store's own stats) so tests assert
+"1 capture + 4 replays" on counts, not wall clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.store import (
+    MemoryStore,
+    replay_cell_key,
+    trace_key,
+)
+from repro.gpu.config import GPUConfig
+from repro.gpu.simulator import SimResult
+from repro.trace.format import TraceReader
+from repro.trace.record import record_workload
+from repro.trace.replay import replay_trace
+from repro.workloads import make_workload
+
+
+@dataclass
+class ReplaySweepStats:
+    """What the replay sweep actually did (the acceptance counters)."""
+
+    recorded: int = 0      # traces captured this run
+    trace_hits: int = 0    # traces found already on disk
+    replayed: int = 0      # cells driven through the replay engine
+    store_hits: int = 0    # cells resolved from the result store
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "recorded": self.recorded,
+            "trace_hits": self.trace_hits,
+            "replayed": self.replayed,
+            "store_hits": self.store_hits,
+        }
+
+
+class TraceStore:
+    """Directory of recorded traces, content-addressed by stream key."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.rptr"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def ls(self) -> List[Dict[str, object]]:
+        entries = []
+        for path in sorted(self.root.glob("*.rptr")):
+            try:
+                reader = TraceReader(path)
+            except Exception:  # foreign/torn file: list nothing for it
+                continue
+            entries.append({"key": path.stem, **reader.meta,
+                            "records": reader.total_records})
+        return entries
+
+    def clear(self) -> int:
+        count = 0
+        for path in self.root.glob("*.rptr"):
+            path.unlink()
+            count += 1
+        return count
+
+
+class ReplaySweepExecutor:
+    """Resolve an experiment grid via record-once / replay-per-scheme.
+
+    Parameters
+    ----------
+    store:
+        Result store for replayed cells (``MemoryStore`` by default;
+        pass a :class:`~repro.experiments.store.ResultStore` to share
+        replay results across invocations).
+    trace_dir:
+        Where recorded traces live.  ``None`` keeps captures in a
+        private in-memory record list (no file layer); point at a
+        directory to persist traces in the binary format and share them
+        across invocations and with the ``repro trace`` verbs.
+    """
+
+    def __init__(self, store=None, trace_dir=None,
+                 config: Optional[GPUConfig] = None) -> None:
+        self.store = store if store is not None else MemoryStore()
+        self.traces = TraceStore(trace_dir) if trace_dir is not None else None
+        self._memory_traces: Dict[str, List] = {}
+        self.config = config
+        self.stats = ReplaySweepStats()
+
+    # ------------------------------------------------------------------
+
+    def _resolved_config(self, num_sms: int) -> GPUConfig:
+        return self.config if self.config is not None \
+            else GPUConfig().scaled(num_sms)
+
+    def _get_or_record(self, abbr: str, config: GPUConfig,
+                       scale: float, seed: int):
+        """Return something replayable for this stream, capturing it at
+        most once per key."""
+        key = trace_key(abbr, config, scale=scale, seed=seed)
+        if self.traces is not None:
+            path = self.traces.path_for(key)
+            if path.exists():
+                self.stats.trace_hits += 1
+            else:
+                workload = make_workload(abbr, scale, seed=seed)
+                record_workload(workload, config, path)
+                self.stats.recorded += 1
+            return TraceReader(path)
+        records = self._memory_traces.get(key)
+        if records is not None:
+            self.stats.trace_hits += 1
+        else:
+            from repro.trace.record import capture_records
+
+            workload = make_workload(abbr, scale, seed=seed)
+            records = capture_records(workload, config)
+            self._memory_traces[key] = records
+            self.stats.recorded += 1
+        return records
+
+    def run_cell(
+        self,
+        abbr: str,
+        scheme: str,
+        num_sms: int = 4,
+        scale: float = 1.0,
+        seed: int = 0,
+        **policy_kwargs,
+    ) -> SimResult:
+        abbr = abbr.upper()
+        config = self._resolved_config(num_sms)
+        key = replay_cell_key(
+            abbr, scheme, config, scale=scale, seed=seed,
+            policy_kwargs=policy_kwargs,
+        )
+        cached = self.store.get(key)
+        if cached is not None:
+            self.stats.store_hits += 1
+            return cached
+        source = self._get_or_record(abbr, config, scale, seed)
+        if isinstance(source, TraceReader):
+            result = replay_trace(source, scheme, config, **policy_kwargs)
+        else:
+            from repro.trace.replay import replay_records
+
+            result = replay_records(iter(source), config, scheme,
+                                    **policy_kwargs)
+        self.stats.replayed += 1
+        self.store.put(
+            key, result,
+            meta={"abbr": abbr, "scheme": scheme, "mode": "replay",
+                  "num_sms": config.num_sms, "scale": scale, "seed": seed},
+        )
+        return result
+
+    def run_sweep(
+        self,
+        apps: Sequence[str],
+        schemes: Sequence[str],
+        num_sms: int = 4,
+        scale: float = 1.0,
+        seed: int = 0,
+        **policy_kwargs,
+    ) -> Dict[str, Dict[str, SimResult]]:
+        """The full app x scheme matrix as ``{app: {scheme: result}}``.
+
+        Iteration is app-major so each app's trace is captured exactly
+        once and immediately reused by every scheme."""
+        return {
+            app.upper(): {
+                scheme: self.run_cell(
+                    app, scheme, num_sms=num_sms, scale=scale, seed=seed,
+                    **policy_kwargs,
+                )
+                for scheme in schemes
+            }
+            for app in apps
+        }

@@ -14,7 +14,9 @@ from repro.workloads.registry import (
     CS_APPS,
     WORKLOADS,
     make_workload,
+    register_trace_workload,
     table2_rows,
+    unregister_workload,
 )
 
 __all__ = [
@@ -26,5 +28,7 @@ __all__ = [
     "CS_APPS",
     "CI_APPS",
     "make_workload",
+    "register_trace_workload",
+    "unregister_workload",
     "table2_rows",
 ]

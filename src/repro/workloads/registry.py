@@ -55,6 +55,9 @@ CS_APPS: List[str] = [a for a, w in WORKLOADS.items() if w.meta.paper_type == "C
 CI_APPS: List[str] = [a for a, w in WORKLOADS.items() if w.meta.paper_type == "CI"]
 ALL_APPS: List[str] = list(WORKLOADS)
 
+#: The immutable Table 2 set; trace-backed registrations come and go.
+_TABLE2_APPS = frozenset(WORKLOADS)
+
 
 def make_workload(abbr: str, scale: float = 1.0, seed: int = 0) -> Workload:
     """Instantiate a Table 2 benchmark model by its abbreviation.
@@ -74,6 +77,39 @@ def make_workload(abbr: str, scale: float = 1.0, seed: int = 0) -> Workload:
     if seed:
         workload.reseed(seed)
     return workload
+
+
+def register_trace_workload(abbr: str, path, name: str | None = None) -> Type[Workload]:
+    """Register an imported trace as a first-class workload.
+
+    After ``register_trace_workload("XT", "foreign.rptr")``,
+    ``make_workload("XT")`` returns a trace-backed workload usable by
+    every registry-driven path (runs, sweeps, reuse profiling).  The
+    abbreviation must not collide with a Table 2 app.  Returns the
+    registered class; remove it with :func:`unregister_workload`.
+    """
+    from repro.trace.adapters import make_trace_workload_class
+
+    key = abbr.upper()
+    if key in WORKLOADS:
+        raise ValueError(
+            f"abbreviation {key!r} is already registered"
+            + (" (Table 2 app)" if key in _TABLE2_APPS else "")
+        )
+    cls = make_trace_workload_class(key, path, name=name)
+    WORKLOADS[key] = cls
+    ALL_APPS.append(key)
+    return cls
+
+
+def unregister_workload(abbr: str) -> None:
+    """Remove a previously registered trace workload (Table 2 apps are
+    permanent)."""
+    key = abbr.upper()
+    if key in _TABLE2_APPS:
+        raise ValueError(f"{key} is a Table 2 application and cannot be removed")
+    if WORKLOADS.pop(key, None) is not None:
+        ALL_APPS.remove(key)
 
 
 def table2_rows():

@@ -51,6 +51,31 @@ class TestAttachment:
         assert set(tracker.samples[-1].pds) == {0}
 
 
+class TestContextManager:
+    def test_attached_records_and_detaches(self):
+        policy = make_policy("dlp", sample_limit=40)
+        original = policy._end_sample  # bound method: compare by ==
+        with PdTracker.attached(policy) as tracker:
+            assert policy._end_sample != original
+            run_thrash(policy)
+        assert policy._end_sample == original
+        assert tracker.samples  # data survives the detach
+
+    def test_attached_detaches_on_error(self):
+        policy = make_policy("dlp", sample_limit=40)
+        original = policy._end_sample
+        with pytest.raises(RuntimeError, match="mid-run failure"):
+            with PdTracker.attached(policy):
+                run_thrash(policy, cycles=2)
+                raise RuntimeError("mid-run failure")
+        assert policy._end_sample == original
+
+    def test_attached_rejects_policies_without_sampling(self):
+        with pytest.raises(TypeError):
+            with PdTracker.attached(make_policy("baseline")):
+                pass
+
+
 class TestRecordedDynamics:
     def test_thrash_shows_increase_path_and_rising_pd(self):
         policy = make_policy("dlp", sample_limit=40)

@@ -1,0 +1,153 @@
+"""Trace adapters: text import and trace-backed registry workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import harness_config
+from repro.trace import (
+    TraceFormatError,
+    TraceReader,
+    import_text_trace,
+    iter_text_records,
+    record_app,
+    replay_trace,
+    replay_workload,
+)
+from repro.trace.format import TraceRecord
+from repro.workloads import (
+    ALL_APPS,
+    make_workload,
+    register_trace_workload,
+    unregister_workload,
+)
+from tests.oracle import assert_results_identical
+
+
+class TestTextParsing:
+    def test_parses_all_field_styles(self):
+        lines = [
+            "sm_id, block_addr, pc, is_write, warp_id",  # header: dropped
+            "0, 0x10, 0x400, R, 3",
+            "1 32 1028 W",            # whitespace-separated, no warp_id
+            "",                        # blank: skipped
+            "# full-line comment",
+            "0, 17, 0x404, LD, 1  # trailing comment",
+            "1, 0x21, 0x408, 1, 2",
+        ]
+        records = list(iter_text_records(lines))
+        assert records == [
+            TraceRecord(0, 0x10, 0x400, False, 3),
+            TraceRecord(1, 32, 1028, True, 0),
+            TraceRecord(0, 17, 0x404, False, 1),
+            TraceRecord(1, 0x21, 0x408, True, 2),
+        ]
+
+    def test_rejects_short_lines(self):
+        with pytest.raises(TraceFormatError, match="at least 4 fields"):
+            list(iter_text_records(["0 1 2"]))
+
+    def test_rejects_unparseable_is_write(self):
+        with pytest.raises(TraceFormatError, match="is_write"):
+            list(iter_text_records(["0 1 2 maybe"]))
+
+    def test_rejects_unparseable_ints(self):
+        with pytest.raises(TraceFormatError, match="block_addr"):
+            list(iter_text_records(["0 xyz 2 R"]))
+
+
+class TestImport:
+    def test_import_round_trip(self, tmp_path):
+        src = tmp_path / "trace.csv"
+        src.write_text(
+            "0, 0x10, 0x400, R, 0\n"
+            "1, 0x20, 0x400, W, 1\n"
+            "0, 0x11, 0x404, LD\n"
+        )
+        reader = import_text_trace(src, tmp_path / "trace.rptr")
+        assert reader.num_sms == 2  # inferred: max sm_id + 1
+        assert reader.meta["source"] == "import"
+        assert list(reader) == [
+            TraceRecord(0, 0x10, 0x400, False, 0),
+            TraceRecord(0, 0x11, 0x404, False, 0),
+            TraceRecord(1, 0x20, 0x400, True, 1),
+        ]
+
+    def test_explicit_sms_must_cover_records(self, tmp_path):
+        src = tmp_path / "trace.csv"
+        src.write_text("3, 1, 2, R\n")
+        with pytest.raises(TraceFormatError, match="num_sms=2"):
+            import_text_trace(src, tmp_path / "t.rptr", num_sms=2)
+
+    def test_empty_input_needs_explicit_sms(self, tmp_path):
+        src = tmp_path / "empty.csv"
+        src.write_text("# nothing here\n")
+        with pytest.raises(TraceFormatError, match="no records"):
+            import_text_trace(src, tmp_path / "t.rptr")
+        reader = import_text_trace(src, tmp_path / "t.rptr", num_sms=1)
+        assert reader.total_records == 0
+
+    def test_imported_trace_replays(self, tmp_path):
+        src = tmp_path / "trace.csv"
+        src.write_text("".join(
+            f"0, {16 + (i % 8)}, 0x400, R\n" for i in range(64)
+        ))
+        reader = import_text_trace(src, tmp_path / "t.rptr")
+        result = replay_trace(reader, "baseline")
+        assert result.l1d.accesses == 64
+        assert result.l1d.hits_total > 0
+
+
+class TestRegistryIntegration:
+    @pytest.fixture
+    def registered(self, tmp_path):
+        """An MM capture registered as the trace-backed app XTRC."""
+        config = harness_config(2)
+        path = record_app("MM", tmp_path / "mm.rptr", config, scale=0.1)
+        register_trace_workload("XTRC", path)
+        yield path, config
+        unregister_workload("XTRC")
+
+    def test_registered_workload_is_first_class(self, registered):
+        assert "XTRC" in ALL_APPS
+        workload = make_workload("XTRC")
+        assert workload.meta.abbr == "XTRC"
+        assert workload.meta.suite == "imported"
+
+    def test_registered_workload_replays_like_the_trace(self, registered):
+        path, config = registered
+        via_registry = replay_workload(
+            make_workload("XTRC"), config, "baseline"
+        )
+        via_trace = replay_trace(path, "baseline", config)
+        # warp ids are re-derived by the CTA mapping, but every
+        # cache-visible counter must agree
+        assert_results_identical(via_registry, via_trace,
+                                 label="XTRC registry-vs-trace")
+
+    def test_unregister_restores_registry(self, tmp_path):
+        config = harness_config(1)
+        path = record_app("HS", tmp_path / "hs.rptr", config, scale=0.1)
+        before = list(ALL_APPS)
+        register_trace_workload("XTMP", path)
+        unregister_workload("XTMP")
+        assert list(ALL_APPS) == before
+        with pytest.raises(ValueError, match="unknown workload"):
+            make_workload("XTMP")
+
+    def test_collision_with_table2_rejected(self, tmp_path):
+        config = harness_config(1)
+        path = record_app("MM", tmp_path / "mm.rptr", config, scale=0.1)
+        with pytest.raises(ValueError, match="already registered"):
+            register_trace_workload("MM", path)
+
+    def test_table2_apps_cannot_be_unregistered(self):
+        with pytest.raises(ValueError, match="Table 2"):
+            unregister_workload("BFS")
+
+    def test_registration_validates_the_trace(self, tmp_path):
+        bad = tmp_path / "bad.rptr"
+        bad.write_bytes(b"not a trace at all")
+        with pytest.raises(TraceFormatError):
+            register_trace_workload("XBAD", bad)
+        assert "XBAD" not in ALL_APPS
