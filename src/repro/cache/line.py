@@ -12,6 +12,12 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.check.contracts import BitField, hw_checked
+
+#: DLP TDA-extension field widths (paper Fig. 8 / Section 4.1.1).
+INSN_ID_BITS = 7
+PL_BITS = 4
+
 
 class LineState(enum.Enum):
     """Lifecycle of a line under allocate-on-miss.
@@ -27,6 +33,11 @@ class LineState(enum.Enum):
     VALID = 2
 
 
+@hw_checked(
+    insn_id=BitField(INSN_ID_BITS),
+    pending_insn_id=BitField(INSN_ID_BITS),
+    protected_life=BitField(PL_BITS),
+)
 @dataclass
 class CacheLine:
     """One way of one set.
@@ -34,7 +45,10 @@ class CacheLine:
     ``lru_stamp`` is the access timestamp used for LRU victim selection.
     ``insn_id`` and ``protected_life`` are the DLP extension fields
     (Section 4.1.1); ``protected_life`` saturates at ``pl_max``
-    (``2**4 - 1`` for the paper's 4-bit field).
+    (``2**4 - 1`` for the paper's 4-bit field).  Under ``REPRO_CHECK=1``
+    the declared widths are enforced on every write; policies running a
+    non-default PL width widen their lines via
+    :func:`repro.check.contracts.set_field_width` at attach time.
     """
 
     way: int

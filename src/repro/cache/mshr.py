@@ -15,10 +15,19 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, List, Optional
 
+from repro.cache.line import INSN_ID_BITS
+from repro.check.contracts import BitField, hw_checked
 
+
+@hw_checked(first_insn_id=BitField(INSN_ID_BITS))
 @dataclass
 class MshrEntry:
-    """One in-flight miss: the target line plus merged waiters."""
+    """One in-flight miss: the target line plus merged waiters.
+
+    ``first_insn_id`` carries the hashed 7-bit instruction ID of the
+    request that allocated the entry (what the fill re-tags the line
+    with); the width is contract-enforced under ``REPRO_CHECK=1``.
+    """
 
     block_addr: int
     first_insn_id: int

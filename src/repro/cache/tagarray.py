@@ -65,7 +65,12 @@ class CacheGeometry:
 
 
 class CacheSet:
-    """One set: a list of ways plus per-set statistics."""
+    """One set: a list of ways plus per-set statistics.
+
+    Slotted on purpose (hot path); the hardware bit-width contracts of
+    the DLP extension fields live on :class:`~repro.cache.line.CacheLine`
+    itself, not here.
+    """
 
     __slots__ = ("index", "lines", "queries")
 

@@ -1,0 +1,50 @@
+"""Static analysis and runtime hardware contracts (``repro check``).
+
+The reproduction's two pillars — bit-identical trace replay and the
+parallel sweep oracle — silently depend on properties nothing else
+enforces: every source of nondeterminism must flow through
+:mod:`repro.utils.rng`, and every modeled hardware field must respect
+the paper's declared widths (7-bit hashed instruction ID, 4-bit
+Protected Life, clamped PD, saturating PDPT hit counters).  This
+package makes both checkable:
+
+* :mod:`repro.check.contracts` — declarative :class:`BitField` /
+  :class:`SaturatingCounter` descriptors plus the ``@hw_checked`` class
+  decorator.  Zero overhead when ``REPRO_CHECK`` is unset; raises
+  :class:`HardwareContractViolation` on any out-of-range or non-integer
+  write when enabled.
+* :mod:`repro.check.lint` — an AST linter with repo-specific rules
+  (R001 nondeterminism, R002 float contamination, R003 unmasked
+  bit-field arithmetic, R004 cross-process hazards, R005 missing
+  ``SIM_VERSION`` bump), a baseline-suppression file and JSON output.
+* :mod:`repro.check.manifest` — the semantics manifest backing R005: a
+  content hash of every ``core/`` and ``cache/`` source file, bound to
+  the :data:`~repro.experiments.store.SIM_VERSION` it was recorded at.
+
+``python -m repro check`` is the CLI front door; CI runs it plus the
+full test suite under ``REPRO_CHECK=1``.
+"""
+
+from repro.check.contracts import (
+    BitField,
+    HardwareContractViolation,
+    SaturatingCounter,
+    contracts_enabled,
+    hw_checked,
+    instrument,
+    set_field_width,
+)
+from repro.check.lint import Finding, Linter, run_check
+
+__all__ = [
+    "BitField",
+    "SaturatingCounter",
+    "HardwareContractViolation",
+    "contracts_enabled",
+    "hw_checked",
+    "instrument",
+    "set_field_width",
+    "Finding",
+    "Linter",
+    "run_check",
+]

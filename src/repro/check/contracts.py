@@ -1,0 +1,201 @@
+"""Runtime hardware bit-width contracts.
+
+The paper fixes the width of every structure it adds to the L1D (Fig. 8):
+a 7-bit hashed instruction ID, a 4-bit Protected Life / Protection
+Distance, an 8-bit TDA-hit counter and a 10-bit VTA-hit counter.  A
+Python model that quietly lets a 4-bit field hold the value 37
+reproduces nothing, so the modeled structures declare their widths with
+:func:`hw_checked` and this module enforces them:
+
+* disabled (the default, ``REPRO_CHECK`` unset): ``hw_checked`` returns
+  the class unchanged — **zero** runtime overhead, not even a branch;
+* enabled (``REPRO_CHECK=1``): every declared field becomes a data
+  descriptor that rejects non-integer values and any write outside
+  ``[0, 2**width - 1]`` with :class:`HardwareContractViolation`.
+
+Structures with configurable widths (the ablation knobs ``pd_bits``,
+``tda_hit_bits``, ...) widen individual instances with
+:func:`set_field_width`; the declared width stays the paper's default.
+
+Because enablement is decided at class-decoration (import) time, tests
+use :func:`instrument` to build a force-checked subclass on demand
+instead of mutating the environment.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Dict, Iterator, Mapping, Type, TypeVar
+
+_T = TypeVar("_T")
+
+#: Environment variable gating enforcement.  Unset, empty or ``"0"``
+#: disables contracts entirely; any other value enables them.
+CHECK_ENV_VAR = "REPRO_CHECK"
+
+
+class HardwareContractViolation(Exception):
+    """A modeled hardware field was written outside its declared contract."""
+
+
+def contracts_enabled() -> bool:
+    """True when ``REPRO_CHECK`` requests runtime contract enforcement."""
+    return os.environ.get(CHECK_ENV_VAR, "") not in ("", "0")
+
+
+class FieldContract:
+    """Base declaration: an unsigned field of ``width`` bits."""
+
+    kind = "bit-field"
+
+    def __init__(self, width: int) -> None:
+        if width < 1:
+            raise ValueError(f"field width must be positive, got {width}")
+        self.width = width
+
+    @property
+    def max_value(self) -> int:
+        return (1 << self.width) - 1
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.width})"
+
+
+class BitField(FieldContract):
+    """A plain unsigned field: writes must already be clamped/masked to
+    ``width`` bits (PL, PD, instruction IDs)."""
+
+    kind = "bit-field"
+
+
+class SaturatingCounter(FieldContract):
+    """A counter that hardware saturates at ``2**width - 1``.  The model
+    must perform the saturation *before* writing — an overflowing write
+    is a missing saturation guard, not a wrap."""
+
+    kind = "saturating counter"
+
+
+class CheckedField:
+    """Data descriptor enforcing one :class:`FieldContract` on writes.
+
+    Values are stored in the instance ``__dict__`` under the field name;
+    a per-instance width override (see :func:`set_field_width`) is
+    stored under ``width_key``.
+    """
+
+    __slots__ = ("name", "width_key", "contract")
+
+    def __init__(self, name: str, contract: FieldContract) -> None:
+        self.name = name
+        self.width_key = f"__hw_width_{name}"
+        self.contract = contract
+
+    def __get__(self, obj: Any, owner: Any = None) -> Any:
+        if obj is None:
+            return self
+        try:
+            return obj.__dict__[self.name]
+        except KeyError:
+            raise AttributeError(self.name) from None
+
+    def __set__(self, obj: Any, value: Any) -> None:
+        contract = self.contract
+        if isinstance(value, bool):
+            raise HardwareContractViolation(
+                f"{type(obj).__name__}.{self.name}: boolean written to a "
+                f"{contract.width}-bit {contract.kind}"
+            )
+        try:
+            as_int = value.__index__()
+        except AttributeError:
+            raise HardwareContractViolation(
+                f"{type(obj).__name__}.{self.name}: non-integer "
+                f"{type(value).__name__} value {value!r} written to a "
+                f"{contract.width}-bit {contract.kind} (float contamination?)"
+            ) from None
+        width = obj.__dict__.get(self.width_key, contract.width)
+        if as_int < 0 or as_int >> width:
+            raise HardwareContractViolation(
+                f"{type(obj).__name__}.{self.name}: value {as_int} outside "
+                f"the {width}-bit {contract.kind} range "
+                f"[0, {(1 << width) - 1}] — a write bypassed "
+                f"clamping/saturation"
+            )
+        obj.__dict__[self.name] = value
+
+
+def _validate_spec(spec: Mapping[str, FieldContract]) -> None:
+    for name, contract in spec.items():
+        if not isinstance(contract, FieldContract):
+            raise TypeError(
+                f"hw_checked field {name!r} needs a BitField/"
+                f"SaturatingCounter, got {contract!r}"
+            )
+
+
+def _install(cls: type, spec: Mapping[str, FieldContract]) -> None:
+    _validate_spec(spec)
+    for name, contract in spec.items():
+        setattr(cls, name, CheckedField(name, contract))
+
+
+def hw_checked(**spec: FieldContract) -> Callable[[Type[_T]], Type[_T]]:
+    """Class decorator declaring hardware field contracts.
+
+    Always records the declaration on ``cls.__hw_spec__`` (so tests and
+    the overhead model can introspect widths); installs the enforcing
+    descriptors only when :func:`contracts_enabled` at decoration time.
+    Apply *above* ``@dataclass`` so the generated ``__init__`` routes
+    its assignments through the descriptors.
+    """
+
+    _validate_spec(spec)
+
+    def decorate(cls: Type[_T]) -> Type[_T]:
+        merged: Dict[str, FieldContract] = dict(getattr(cls, "__hw_spec__", {}))
+        merged.update(spec)
+        cls.__hw_spec__ = merged  # type: ignore[attr-defined]
+        if contracts_enabled():
+            _install(cls, spec)
+        return cls
+
+    return decorate
+
+
+def instrument(cls: Type[_T], **overrides: FieldContract) -> Type[_T]:
+    """Force-checked subclass of a ``hw_checked`` class, for tests.
+
+    Ignores ``REPRO_CHECK``: the returned subclass always enforces the
+    declared spec (plus any ``overrides``), so contract tests run in a
+    default environment without reloading modules.
+    """
+    spec: Dict[str, FieldContract] = dict(getattr(cls, "__hw_spec__", {}))
+    spec.update(overrides)
+    if not spec:
+        raise ValueError(
+            f"{cls.__name__} declares no hardware contracts to instrument"
+        )
+    checked: Type[_T] = type(f"Checked{cls.__name__}", (cls,), {})
+    _install(checked, spec)
+    return checked
+
+
+def set_field_width(obj: Any, name: str, width: int) -> None:
+    """Override one field's contract width on one instance.
+
+    Used by structures with ablation knobs (``pd_bits`` and friends)
+    whose configured width differs from the paper default.  A cheap
+    no-op when the class is not instrumented, so call sites need no
+    ``REPRO_CHECK`` branching of their own.
+    """
+    if width < 1:
+        raise ValueError(f"field width must be positive, got {width}")
+    descriptor = getattr(type(obj), name, None)
+    if isinstance(descriptor, CheckedField):
+        obj.__dict__[descriptor.width_key] = width
+
+
+def declared_contracts(cls: type) -> Iterator[tuple[str, FieldContract]]:
+    """Iterate a class's declared ``(field, contract)`` pairs."""
+    yield from getattr(cls, "__hw_spec__", {}).items()

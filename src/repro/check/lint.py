@@ -1,0 +1,234 @@
+"""The ``repro check`` linter engine.
+
+Drives the rule set of :mod:`repro.check.rules` over the package
+sources, applies inline ``# repro-check: allow(RXXX)`` suppressions and
+an optional baseline file, and renders findings as text or JSON.
+
+Baseline workflow
+-----------------
+A baseline is a JSON file of finding *fingerprints* (stable across
+unrelated edits — see :meth:`~repro.check.rules.base.Finding.fingerprint`).
+``repro check --baseline FILE`` suppresses every baselined finding and
+fails only on new ones; ``--update-baseline`` rewrites the file from
+the current findings.  The repo itself carries **no** baseline: the
+tree lints clean, and the file exists for downstream forks digesting
+the rules incrementally.
+
+Inline suppression
+------------------
+Append ``# repro-check: allow(R004)`` (or ``allow(R001,R003)``, or
+``allow(*)``) to a line to accept a deliberate design the rule cannot
+see.  Use sparingly; every marker is an assertion that a human checked
+the hazard.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.check import manifest
+from repro.check.rules import Finding, ModuleSource, ast_rules, repo_rules
+
+_ALLOW_RE = re.compile(r"#\s*repro-check:\s*allow\(([^)]*)\)")
+
+
+class Linter:
+    """Lint a source tree (default: the installed ``repro`` package)."""
+
+    def __init__(self, package_root: Optional[Path] = None) -> None:
+        self.package_root = (package_root or manifest.package_root()).resolve()
+        self.ast_rules = ast_rules()
+        self.repo_rules = repo_rules()
+
+    # -- collection ----------------------------------------------------
+
+    def python_files(self, paths: Optional[Sequence[Path]] = None) -> List[Path]:
+        roots = [Path(p) for p in paths] if paths else [self.package_root]
+        files: List[Path] = []
+        for root in roots:
+            if root.is_file():
+                files.append(root)
+            else:
+                files.extend(sorted(root.rglob("*.py")))
+        return files
+
+    def _relpath(self, path: Path) -> str:
+        resolved = path.resolve()
+        base = self.package_root.parent
+        try:
+            return resolved.relative_to(base).as_posix()
+        except ValueError:
+            return resolved.as_posix()
+
+    # -- linting -------------------------------------------------------
+
+    def lint_source(self, text: str, relpath: str = "<source>") -> List[Finding]:
+        """Lint one source string (the unit tests' entry point)."""
+        try:
+            module = ModuleSource(relpath, text)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    rule="R000",
+                    path=relpath,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"file does not parse: {exc.msg}",
+                    snippet=(exc.text or "").strip(),
+                )
+            ]
+        findings: List[Finding] = []
+        for rule in self.ast_rules:
+            findings.extend(rule.check(module))
+        return _postprocess(findings, module)
+
+    def lint_file(self, path: Path) -> List[Finding]:
+        text = path.read_text(encoding="utf-8")
+        return self.lint_source(text, self._relpath(path))
+
+    def lint(self, paths: Optional[Sequence[Path]] = None,
+             with_repo_rules: bool = True) -> List[Finding]:
+        findings: List[Finding] = []
+        for path in self.python_files(paths):
+            findings.extend(self.lint_file(path))
+        if with_repo_rules and paths is None:
+            for rule in self.repo_rules:
+                findings.extend(rule.check_repo(self.package_root))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings
+
+
+def _postprocess(findings: Iterable[Finding], module: ModuleSource) -> List[Finding]:
+    """Apply inline allow-markers and collapse duplicate locations.
+
+    Nested attribute chains report the same ``(line, col)`` more than
+    once (``np.random.default_rng`` contains ``np.random``); the first
+    — outermost — finding wins.
+    """
+    allows = _allow_markers(module)
+    seen: Set[tuple] = set()
+    out: List[Finding] = []
+    for finding in findings:
+        allowed = allows.get(finding.line, frozenset())
+        if finding.rule in allowed or "*" in allowed:
+            continue
+        key = (finding.rule, finding.line, finding.col)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(finding)
+    return out
+
+
+def _allow_markers(module: ModuleSource) -> Dict[int, frozenset]:
+    markers: Dict[int, frozenset] = {}
+    for lineno, line in enumerate(module.lines, start=1):
+        match = _ALLOW_RE.search(line)
+        if match:
+            rules = frozenset(
+                token.strip() for token in match.group(1).split(",") if token.strip()
+            )
+            markers[lineno] = rules
+    return markers
+
+
+# ----------------------------------------------------------------------
+# baseline files
+# ----------------------------------------------------------------------
+
+def load_baseline(path: Optional[Path]) -> Set[str]:
+    if path is None:
+        return set()
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return set()
+    entries = data.get("findings", []) if isinstance(data, dict) else []
+    return {
+        str(e["fingerprint"]) for e in entries
+        if isinstance(e, dict) and "fingerprint" in e
+    }
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    payload = {
+        "comment": "repro check baseline — suppressed pre-existing findings",
+        "findings": [
+            {
+                "fingerprint": f.fingerprint(),
+                "rule": f.rule,
+                "path": f.path,
+                "snippet": f.snippet,
+            }
+            for f in findings
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+# ----------------------------------------------------------------------
+# the CLI entry point's engine
+# ----------------------------------------------------------------------
+
+def run_check(
+    paths: Optional[Sequence[str]] = None,
+    baseline: Optional[str] = None,
+    json_output: bool = False,
+    update_baseline: bool = False,
+    update_manifest: bool = False,
+    out: Callable[[str], None] = print,
+) -> int:
+    """Run the full check; returns the process exit code (0 = clean)."""
+    linter = Linter()
+
+    if update_manifest:
+        path = manifest.write_manifest(linter.package_root)
+        out(f"semantics manifest updated: {path}")
+
+    target_paths = [Path(p) for p in paths] if paths else None
+    findings = linter.lint(target_paths)
+
+    if update_baseline:
+        if baseline is None:
+            out("error: --update-baseline needs --baseline FILE", )
+            return 2
+        write_baseline(Path(baseline), findings)
+        out(f"baseline updated: {baseline} ({len(findings)} findings recorded)")
+        return 0
+
+    known = load_baseline(Path(baseline) if baseline else None)
+    new = [f for f in findings if f.fingerprint() not in known]
+    suppressed = len(findings) - len(new)
+
+    if json_output:
+        out(json.dumps(
+            {
+                "findings": [f.to_dict() for f in new],
+                "suppressed": suppressed,
+                "checked_rules": sorted(
+                    {r.rule_id for r in linter.ast_rules}
+                    | {r.rule_id for r in linter.repo_rules}
+                ),
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+    else:
+        for finding in new:
+            out(finding.format())
+        summary = f"repro check: {len(new)} finding(s)"
+        if suppressed:
+            summary += f", {suppressed} baseline-suppressed"
+        out(summary)
+
+    return 1 if new else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - debugging aid
+    sys.exit(run_check())

@@ -1,0 +1,53 @@
+"""Rule registry for ``repro check``.
+
+AST rules implement ``check(module)`` over one parsed file; repo rules
+implement ``check_repo(root)`` over the package tree.  Both produce
+:class:`~repro.check.rules.base.Finding` streams the linter engine
+deduplicates, baseline-filters and renders.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.check.rules.base import (
+    HW_FIELD_NAMES,
+    Finding,
+    ModuleSource,
+    Rule,
+)
+from repro.check.rules.bitfield_masking import BitfieldMaskingRule
+from repro.check.rules.float_contamination import FloatContaminationRule
+from repro.check.rules.nondeterminism import NondeterminismRule
+from repro.check.rules.process_hazards import ProcessHazardRule
+from repro.check.rules.sim_version import SimVersionRule
+
+
+def ast_rules() -> List[Rule]:
+    """Fresh instances of every per-file AST rule, in rule-id order."""
+    return [
+        NondeterminismRule(),
+        FloatContaminationRule(),
+        BitfieldMaskingRule(),
+        ProcessHazardRule(),
+    ]
+
+
+def repo_rules() -> List[SimVersionRule]:
+    """Fresh instances of every repo-level rule."""
+    return [SimVersionRule()]
+
+
+__all__ = [
+    "Finding",
+    "ModuleSource",
+    "Rule",
+    "HW_FIELD_NAMES",
+    "ast_rules",
+    "repo_rules",
+    "NondeterminismRule",
+    "FloatContaminationRule",
+    "BitfieldMaskingRule",
+    "ProcessHazardRule",
+    "SimVersionRule",
+]

@@ -1,0 +1,119 @@
+"""R003 — unmasked arithmetic on declared bit-fields.
+
+The paper's fields are narrow: 4-bit PL/PD, 7-bit instruction IDs,
+8/10-bit saturating hit counters.  Any arithmetic written into one of
+them must be clamped (``min``/``max``), masked (``& mask``, ``%``), or
+guarded by a comparison on the same field (the hardware saturation
+idiom ``if x < max: x += 1``).  An unguarded ``entry.pd += delta``
+models a register that silently grows past its width — exactly the bug
+class the runtime contract layer (:mod:`repro.check.contracts`)
+catches dynamically; this rule catches it statically.
+
+Accepted as clamped/guarded:
+
+* RHS is a top-level ``min(...)``/``max(...)`` call;
+* RHS is masked at top level with ``&`` or ``%``;
+* RHS is not arithmetic at all (a name, constant, attribute or call);
+* the write sits under an ``if``/``while`` whose test mentions the same
+  field (saturation/decay guards).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.check.rules.base import (
+    HW_FIELD_NAMES,
+    Finding,
+    ModuleSource,
+    Rule,
+    walk_with_ancestors,
+)
+
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.LShift, ast.RShift, ast.Pow)
+
+
+class BitfieldMaskingRule(Rule):
+    rule_id = "R003"
+    title = "unmasked arithmetic on a declared bit-field"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node, ancestors in walk_with_ancestors(module.tree):
+            if isinstance(node, ast.AugAssign):
+                attr = _hw_attr(node.target)
+                if attr is None:
+                    continue
+                if not isinstance(node.op, _ARITH_OPS):
+                    continue  # &=, |=, %= are masking by construction
+                if _guarded_by(ancestors, attr):
+                    continue
+                yield self.finding(
+                    module,
+                    node,
+                    f"unguarded `{attr} {_op_symbol(node.op)}= ...` on a "
+                    f"declared bit-field — clamp with min/max, mask, or "
+                    f"guard on {attr!r} before writing",
+                )
+            elif isinstance(node, ast.Assign):
+                attrs = [a for a in map(_hw_attr, node.targets) if a]
+                if not attrs:
+                    continue
+                attr = attrs[0]
+                if _is_clamped(node.value, attr):
+                    continue
+                if _guarded_by(ancestors, attr):
+                    continue
+                yield self.finding(
+                    module,
+                    node,
+                    f"arithmetic assigned to bit-field {attr!r} without "
+                    f"clamping — wrap in min/max, mask with & or %, or "
+                    f"guard on the field's current value",
+                )
+
+
+def _hw_attr(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute) and node.attr in HW_FIELD_NAMES:
+        return node.attr
+    return None
+
+
+def _is_clamped(value: ast.expr, attr: str) -> bool:
+    """True when the RHS cannot exceed the field by construction (for
+    this rule's purposes): clamp calls, masks, or no arithmetic."""
+    if isinstance(value, ast.Call):
+        if isinstance(value.func, ast.Name) and value.func.id in ("min", "max"):
+            return True
+        return True  # opaque call: the callee owns the clamp
+    if isinstance(value, ast.BinOp):
+        if isinstance(value.op, (ast.BitAnd, ast.Mod)):
+            return True  # masked at top level
+        if isinstance(value.op, _ARITH_OPS):
+            return False
+        return True  # |, ^, //, @ — not width-growing idioms we police
+    if isinstance(value, ast.IfExp):
+        return _is_clamped(value.body, attr) and _is_clamped(value.orelse, attr)
+    return True  # names, constants, attributes: no arithmetic happened
+
+
+def _guarded_by(ancestors: List[ast.AST], attr: str) -> bool:
+    """An enclosing if/while test that reads the same field counts as a
+    saturation/decay guard (``if entry.pd: entry.pd -= 1``)."""
+    for ancestor in ancestors:
+        if isinstance(ancestor, (ast.If, ast.While)):
+            for node in ast.walk(ancestor.test):
+                if isinstance(node, ast.Attribute) and node.attr == attr:
+                    return True
+    return False
+
+
+def _op_symbol(op: ast.operator) -> str:
+    return {
+        ast.Add: "+",
+        ast.Sub: "-",
+        ast.Mult: "*",
+        ast.LShift: "<<",
+        ast.RShift: ">>",
+        ast.Pow: "**",
+    }.get(type(op), "?")

@@ -1,0 +1,85 @@
+"""R002 — float contamination of integer hardware counters.
+
+Every modeled hardware field (see
+:data:`repro.check.rules.base.HW_FIELD_NAMES`) is an unsigned integer
+register.  A single true division or float literal reaching one of them
+turns exact counter comparisons into epsilon comparisons and breaks
+bit-identical replay.  The Figure 9 flow exists precisely to avoid a
+divider — shift-based step comparison (``nasc >> 1``) instead of
+``nasc / 2``.
+
+Flagged: any assignment (plain or augmented) to a hardware field whose
+right-hand side contains a float literal, a true division ``/``, or a
+``float(...)`` call.  ``//``, ``>>`` and ``&`` are the hardware-honest
+spellings and pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.check.rules.base import (
+    HW_FIELD_NAMES,
+    Finding,
+    ModuleSource,
+    Rule,
+)
+
+
+class FloatContaminationRule(Rule):
+    rule_id = "R002"
+    title = "float contamination of integer hardware counters"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            target_attr: Optional[str] = None
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if _hw_attr(target):
+                        target_attr = _hw_attr(target)
+                value = node.value
+            elif isinstance(node, ast.AugAssign):
+                target_attr = _hw_attr(node.target)
+                value = node.value
+                if target_attr and isinstance(node.op, ast.Div):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"true division written into integer field "
+                        f"{target_attr!r} — use a shift or //",
+                    )
+                    continue
+            if target_attr is None or value is None:
+                continue
+            reason = _float_taint(value)
+            if reason is not None:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{reason} written into integer hardware field "
+                    f"{target_attr!r} — hardware counters hold ints; "
+                    f"use shifts, // or explicit masking",
+                )
+
+
+def _hw_attr(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute) and node.attr in HW_FIELD_NAMES:
+        return node.attr
+    return None
+
+
+def _float_taint(value: ast.expr) -> Optional[str]:
+    for node in ast.walk(value):
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return f"float literal {node.value!r}"
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            return "true division (/)"
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "float"
+        ):
+            return "float(...) conversion"
+    return None

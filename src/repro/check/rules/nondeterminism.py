@@ -1,0 +1,196 @@
+"""R001 — nondeterminism outside ``repro.utils.rng``.
+
+Sweep-oracle and trace-replay guarantees rest on one invariant: given
+the same cell key, every simulation produces bit-identical results in
+any process, on any worker, in any order.  Anything that samples
+entropy, wall-clock time or interpreter hash state breaks that
+silently, so every randomness source must flow through the seeded
+streams of :mod:`repro.utils.rng`.
+
+Flagged:
+
+* importing ``random`` or ``secrets`` at all;
+* any use of ``numpy.random`` through any import alias;
+* wall-clock / entropy calls: ``time.time``, ``time.time_ns``,
+  ``time.monotonic``, ``time.perf_counter``, ``os.urandom``,
+  ``uuid.uuid1``/``uuid4``, ``datetime.now``/``utcnow``/``today``;
+* the builtin ``hash()`` — salted per process via ``PYTHONHASHSEED``;
+* iterating a ``set`` directly (``for x in set(...)``, ``list(set(...))``)
+  — iteration order is hash order; wrap in ``sorted(...)`` instead.
+
+``repro/utils/rng.py`` itself is exempt: it is the one place allowed to
+touch ``numpy.random``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set, Tuple
+
+from repro.check.rules.base import Finding, ModuleSource, Rule, attr_chain
+
+_BANNED_MODULES = {"random", "secrets"}
+
+#: ``module.attr`` calls/uses that inject entropy or wall-clock time.
+_BANNED_ATTRS: Dict[Tuple[str, str], str] = {
+    ("time", "time"): "wall-clock time",
+    ("time", "time_ns"): "wall-clock time",
+    ("time", "monotonic"): "wall-clock time",
+    ("time", "monotonic_ns"): "wall-clock time",
+    ("time", "perf_counter"): "wall-clock time",
+    ("time", "perf_counter_ns"): "wall-clock time",
+    ("os", "urandom"): "OS entropy",
+    ("uuid", "uuid1"): "host/time-derived UUID",
+    ("uuid", "uuid4"): "random UUID",
+    ("datetime", "now"): "wall-clock time",
+    ("datetime", "utcnow"): "wall-clock time",
+    ("datetime", "today"): "wall-clock time",
+}
+
+#: Builtins whose call materialises a set's hash-order as a sequence.
+_ORDER_SENSITIVE_CONSUMERS = {"list", "tuple", "iter", "enumerate"}
+
+_EXEMPT_SUFFIXES = ("repro/utils/rng.py",)
+
+
+class NondeterminismRule(Rule):
+    rule_id = "R001"
+    title = "nondeterminism outside repro.utils.rng"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if module.relpath.endswith(_EXEMPT_SUFFIXES):
+            return
+        aliases = _module_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            yield from self._check_node(module, node, aliases)
+
+    # -- helpers -------------------------------------------------------
+
+    def _check_node(
+        self, module: ModuleSource, node: ast.AST, aliases: Dict[str, str]
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in _BANNED_MODULES:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"import of {alias.name!r}: unseeded entropy — "
+                        f"route randomness through repro.utils.rng",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            yield from self._check_import_from(module, node)
+        elif isinstance(node, ast.Attribute):
+            yield from self._check_attribute(module, node, aliases)
+        elif isinstance(node, ast.Call):
+            yield from self._check_call(module, node)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if _is_set_expr(node.iter):
+                yield self._set_order_finding(module, node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for gen in node.generators:
+                if _is_set_expr(gen.iter):
+                    yield self._set_order_finding(module, gen.iter)
+
+    def _check_import_from(
+        self, module: ModuleSource, node: ast.ImportFrom
+    ) -> Iterator[Finding]:
+        base = (node.module or "").split(".")[0]
+        if base in _BANNED_MODULES:
+            yield self.finding(
+                module,
+                node,
+                f"import from {node.module!r}: unseeded entropy — route "
+                f"randomness through repro.utils.rng",
+            )
+            return
+        for alias in node.names:
+            reason = _BANNED_ATTRS.get((base, alias.name))
+            if reason is not None:
+                yield self.finding(
+                    module,
+                    node,
+                    f"import of {base}.{alias.name}: {reason} is "
+                    f"nondeterministic across runs",
+                )
+        if base == "numpy" and node.module and "random" in node.module.split("."):
+            yield self.finding(
+                module,
+                node,
+                "import from numpy.random: use repro.utils.rng."
+                "DeterministicRng for seeded streams",
+            )
+
+    def _check_attribute(
+        self, module: ModuleSource, node: ast.Attribute, aliases: Dict[str, str]
+    ) -> Iterator[Finding]:
+        chain = attr_chain(node)
+        if chain is None:
+            return
+        parts = chain.split(".")
+        root = aliases.get(parts[0], parts[0])
+        # numpy.random.* through any alias (np.random.default_rng, ...)
+        if root == "numpy" and len(parts) >= 2 and parts[1] == "random":
+            yield self.finding(
+                module,
+                node,
+                f"use of {chain}: global numpy RNG — use "
+                f"repro.utils.rng.DeterministicRng instead",
+            )
+            return
+        if len(parts) == 2:
+            reason = _BANNED_ATTRS.get((root, parts[1]))
+            if reason is not None:
+                yield self.finding(
+                    module,
+                    node,
+                    f"use of {chain}: {reason} is nondeterministic "
+                    f"across runs",
+                )
+
+    def _check_call(
+        self, module: ModuleSource, node: ast.Call
+    ) -> Iterator[Finding]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "hash":
+                yield self.finding(
+                    module,
+                    node,
+                    "builtin hash(): salted per process via PYTHONHASHSEED"
+                    " — use repro.utils.hashing (fnv1a_32/hash_pc)",
+                )
+            elif func.id in _ORDER_SENSITIVE_CONSUMERS and node.args:
+                if _is_set_expr(node.args[0]):
+                    yield self._set_order_finding(module, node.args[0])
+
+    def _set_order_finding(self, module: ModuleSource, node: ast.AST) -> Finding:
+        return self.finding(
+            module,
+            node,
+            "iteration over a set materialises hash order — wrap in "
+            "sorted(...) for a stable order",
+        )
+
+
+def _module_aliases(tree: ast.AST) -> Dict[str, str]:
+    """Map import aliases to their root module (``np`` -> ``numpy``)."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                aliases[(alias.asname or alias.name).split(".")[0]] = root
+    return aliases
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "set"
+    )

@@ -1,0 +1,82 @@
+"""R004 — mutable-default-arg and cross-process shared-state hazards.
+
+The sweep executor ships cells to worker processes; the trace subsystem
+records and replays across invocations.  Two Python idioms silently
+break both:
+
+* **Mutable default arguments** — one shared object across every call
+  in a process, and a *different* shared object in every worker: the
+  classic source of results that depend on submission order.
+* **Module-global mutation** (a ``global`` statement) in the packages
+  whose functions run inside workers (``experiments/``, ``trace/``) —
+  each worker holds its own copy of module state, so updates made in
+  the parent are invisible to workers and vice versa.
+
+Deliberate, process-local designs (the runner's swappable executor
+backend) mark the line with ``# repro-check: allow(R004)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.check.rules.base import Finding, ModuleSource, Rule
+
+#: Packages whose module state crosses the ProcessPool boundary.
+_WORKER_PACKAGES = ("repro/experiments/", "repro/trace/")
+
+_MUTABLE_LITERALS = (
+    ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp,
+)
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "deque", "defaultdict"}
+
+
+class ProcessHazardRule(Rule):
+    rule_id = "R004"
+    title = "mutable defaults / cross-process shared state"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        in_worker_package = any(p in module.relpath for p in _WORKER_PACKAGES)
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                yield from self._check_defaults(module, node)
+            elif isinstance(node, ast.Global) and in_worker_package:
+                names = ", ".join(node.names)
+                yield self.finding(
+                    module,
+                    node,
+                    f"`global {names}` in a module that runs inside sweep "
+                    f"workers — per-process state diverges across the "
+                    f"pool; pass state explicitly or mark a deliberate "
+                    f"process-local design with "
+                    f"`# repro-check: allow(R004)`",
+                )
+
+    def _check_defaults(
+        self, module: ModuleSource, node: ast.AST
+    ) -> Iterator[Finding]:
+        args = node.args  # type: ignore[attr-defined]
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            if _is_mutable(default):
+                name = getattr(node, "name", "<lambda>")
+                yield self.finding(
+                    module,
+                    default,
+                    f"mutable default argument in {name!r} is shared "
+                    f"across calls (and duplicated per worker process) — "
+                    f"default to None and construct inside the body",
+                )
+
+
+def _is_mutable(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CALLS
+    )

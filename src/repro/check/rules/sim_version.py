@@ -1,0 +1,37 @@
+"""R005 — SIM_VERSION bump guard (semantics manifest check).
+
+A repo-level rule, not an AST rule: compares the recorded semantics
+manifest (per-file SHA-256 of everything under ``core/`` and ``cache/``
+plus the ``SIM_VERSION`` it was taken at) against the working tree.
+See :mod:`repro.check.manifest` for the drift taxonomy and the
+``--update-manifest`` workflow.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.check import manifest
+from repro.check.rules.base import Finding
+
+
+class SimVersionRule:
+    """Duck-typed repo rule: ``check_repo`` instead of ``check``."""
+
+    rule_id = "R005"
+    title = "core/cache semantics changed without a SIM_VERSION bump"
+
+    def check_repo(self, root: Optional[Path] = None) -> Iterator[Finding]:
+        pkg_root = root or manifest.package_root()
+        for message in manifest.diff_manifest(pkg_root):
+            yield Finding(
+                rule=self.rule_id,
+                path=manifest.manifest_path(pkg_root)
+                .relative_to(pkg_root.parent)
+                .as_posix(),
+                line=1,
+                col=0,
+                message=message,
+                snippet="",
+            )

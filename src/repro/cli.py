@@ -12,6 +12,7 @@ sweep      run an app x scheme grid through the parallel executor,
 store      inspect (``ls``) or wipe (``clear``) an on-disk result store
 profile    reuse-distance analysis of one application (Fig. 3/7 style)
 trace      record, inspect, replay and import memory traces
+check      determinism linter + hardware-contract static checks (CI gate)
 list       the Table 2 application registry
 
 Examples
@@ -29,6 +30,8 @@ Examples
     python -m repro trace info bfs.rptr
     python -m repro trace replay bfs.rptr --verify
     python -m repro trace import foreign.csv foreign.rptr
+    python -m repro check
+    python -m repro check --json src/repro/core
     python -m repro list
 """
 
@@ -176,6 +179,28 @@ def build_parser() -> argparse.ArgumentParser:
     t_imp.add_argument("--sms", type=int, default=None,
                        help="SM count (default: max sm_id + 1 in SRC)")
     t_imp.add_argument("--line-size", type=int, default=128)
+
+    p_check = sub.add_parser(
+        "check",
+        help="lint the package for nondeterminism and hardware-contract "
+             "hazards (rules R001-R005)",
+    )
+    p_check.add_argument("paths", nargs="*", metavar="PATH",
+                         help="files or directories to lint (default: the "
+                              "installed repro package; repo-level rules "
+                              "like the R005 semantics manifest only run "
+                              "on the full-package default)")
+    p_check.add_argument("--json", action="store_true", dest="json_output",
+                         help="machine-readable findings on stdout")
+    p_check.add_argument("--baseline", default=None, metavar="FILE",
+                         help="suppress findings fingerprinted in FILE; "
+                              "exit non-zero only on new ones")
+    p_check.add_argument("--update-baseline", action="store_true",
+                         help="rewrite --baseline FILE from the current "
+                              "findings and exit 0")
+    p_check.add_argument("--update-manifest", action="store_true",
+                         help="regenerate the R005 semantics manifest "
+                              "(after bumping SIM_VERSION)")
 
     sub.add_parser("list", help="list the Table 2 applications")
     return parser
@@ -438,6 +463,18 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    from repro.check.lint import run_check
+
+    return run_check(
+        paths=args.paths or None,
+        baseline=args.baseline,
+        json_output=args.json_output,
+        update_baseline=args.update_baseline,
+        update_manifest=args.update_manifest,
+    )
+
+
 def cmd_list(_args) -> int:
     print(ascii_table(
         ["Application", "Abbr.", "Suite", "Type", "Paper input", "Scaled input"],
@@ -455,6 +492,7 @@ _COMMANDS = {
     "store": cmd_store,
     "profile": cmd_profile,
     "trace": cmd_trace,
+    "check": cmd_check,
     "list": cmd_list,
 }
 

@@ -34,7 +34,7 @@ POLICIES: Dict[str, Callable[..., CachePolicy]] = {
 }
 
 
-def make_policy(name: str, **kwargs) -> CachePolicy:
+def make_policy(name: str, **kwargs: object) -> CachePolicy:
     """Instantiate a policy by its registry name.
 
     ``kwargs`` forward to the policy constructor (sampling period, VTA

@@ -8,14 +8,21 @@ selector so tests exercise the shared helper.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.cache.replacement import lru_victim
 from repro.core.policy import CachePolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.l1d import MemAccess
+    from repro.cache.line import CacheLine
+    from repro.cache.tagarray import CacheSet
 
 
 class BaselinePolicy(CachePolicy):
     name = "baseline"
 
-    def select_victim(self, cache_set, access) -> Optional[object]:
+    def select_victim(
+        self, cache_set: "CacheSet", access: "MemAccess"
+    ) -> Optional["CacheLine"]:
         return lru_victim(cache_set)

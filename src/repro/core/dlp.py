@@ -27,14 +27,21 @@ associativity, PL width, bypass on/off); defaults are the paper's.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import enum
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.cache.replacement import protected_lru_victim
+from repro.check.contracts import set_field_width
 from repro.core.pdpt import PD_BITS, PredictionTable
 from repro.core.policy import CachePolicy
 from repro.core.protection import run_pd_update
 from repro.core.sampler import SampleWindow
 from repro.core.vta import VictimTagArray
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.l1d import L1DCache, MemAccess
+    from repro.cache.line import CacheLine
+    from repro.cache.tagarray import CacheSet
 
 
 class DlpPolicy(CachePolicy):
@@ -48,7 +55,7 @@ class DlpPolicy(CachePolicy):
         pd_bits: int = PD_BITS,
         nasc: Optional[int] = None,
         bypass_enabled: bool = True,
-    ):
+    ) -> None:
         super().__init__()
         self._vta_assoc = vta_assoc
         self._nasc_override = nasc
@@ -65,12 +72,17 @@ class DlpPolicy(CachePolicy):
 
     # -- lifecycle -------------------------------------------------------
 
-    def attach(self, cache) -> None:
+    def attach(self, cache: "L1DCache") -> None:
         super().attach(cache)
         self.vta = VictimTagArray(cache.geometry, self._vta_assoc)
         # Nasc is the VTA associativity (Section 4.2, footnote 2: set to
         # the cache associativity in the paper's configuration).
         self.nasc = self._nasc_override if self._nasc_override else self.vta.assoc
+        if self.pd_bits != PD_BITS:
+            # Ablation PL widths: widen (or narrow) the per-line Protected
+            # Life contract to match (no-op unless REPRO_CHECK is set).
+            for line in cache.tags.lines():
+                set_field_width(line, "protected_life", self.pd_bits)
 
     def reset(self) -> None:
         self.pdpt = PredictionTable(pd_bits=self.pd_bits)
@@ -80,12 +92,12 @@ class DlpPolicy(CachePolicy):
 
     # -- protocol hooks ---------------------------------------------------
 
-    def on_set_query(self, cache_set, access) -> None:
+    def on_set_query(self, cache_set: "CacheSet", access: "MemAccess") -> None:
         for line in cache_set.lines:
             if line.protected_life > 0:
                 line.protected_life -= 1
 
-    def on_hit(self, line, access, reserved: bool) -> None:
+    def on_hit(self, line: "CacheLine", access: "MemAccess", reserved: bool) -> None:
         if access.is_write:
             return
         if reserved:
@@ -99,29 +111,33 @@ class DlpPolicy(CachePolicy):
         line.insn_id = access.insn_id
         line.grant_protection(self.pdpt.pd(access.insn_id), self.pl_max)
 
-    def on_miss(self, access) -> None:
+    def on_miss(self, access: "MemAccess") -> None:
         if access.is_write:
             return
+        assert self.vta is not None, "policy used before attach()"
         owner = self.vta.probe(access.block_addr)
         if owner is not None:
             self.pdpt.record_vta_hit(owner)
 
-    def select_victim(self, cache_set, access):
+    def select_victim(
+        self, cache_set: "CacheSet", access: "MemAccess"
+    ) -> Optional["CacheLine"]:
         return protected_lru_victim(cache_set)
 
-    def bypass_on_no_victim(self, access) -> bool:
+    def bypass_on_no_victim(self, access: "MemAccess") -> bool:
         if self.bypass_enabled:
             self.protected_bypasses += 1
             return True
         return False
 
-    def on_allocate(self, line, access) -> None:
+    def on_allocate(self, line: "CacheLine", access: "MemAccess") -> None:
         line.grant_protection(self.pdpt.pd(access.insn_id), self.pl_max)
 
-    def on_evict(self, line) -> None:
+    def on_evict(self, line: "CacheLine") -> None:
+        assert self.vta is not None, "policy used before attach()"
         self.vta.insert(line.block_addr, line.insn_id)
 
-    def on_access_done(self, access, outcome) -> None:
+    def on_access_done(self, access: "MemAccess", outcome: enum.Enum) -> None:
         if self.sampler.tick_access():
             self._end_sample()
 

@@ -10,6 +10,7 @@ VTA associativity, PL width, PDPT size).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Tuple
 
 from repro.cache.tagarray import CacheGeometry
 from repro.core.pdpt import INSN_ID_BITS, PD_BITS, PDPT_ENTRIES, TDA_HIT_BITS, VTA_HIT_BITS
@@ -34,7 +35,7 @@ class OverheadReport:
     def overhead_fraction(self) -> float:
         return self.total_extra_bytes / self.baseline_bytes
 
-    def rows(self):
+    def rows(self) -> List[Tuple[str, int]]:
         """(component, bytes) rows for the report renderer."""
         return [
             ("TDA extension (insn ID + PL)", self.tda_extension_bytes),

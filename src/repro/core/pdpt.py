@@ -12,6 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List
 
+from repro.check.contracts import (
+    BitField,
+    SaturatingCounter,
+    hw_checked,
+    set_field_width,
+)
+
 PDPT_ENTRIES = 128
 INSN_ID_BITS = 7
 TDA_HIT_BITS = 8
@@ -19,10 +26,18 @@ VTA_HIT_BITS = 10
 PD_BITS = 4
 
 
+@hw_checked(
+    insn_id=BitField(INSN_ID_BITS),
+    tda_hits=SaturatingCounter(TDA_HIT_BITS),
+    vta_hits=SaturatingCounter(VTA_HIT_BITS),
+    pd=BitField(PD_BITS),
+)
 @dataclass
 class PdptEntry:
     """One per-instruction record.  Plain ints with explicit saturation —
-    kept branch-light because this sits on the cache hot path."""
+    kept branch-light because this sits on the cache hot path.  Field
+    widths are the paper's (Fig. 8), contract-enforced under
+    ``REPRO_CHECK=1``."""
 
     insn_id: int
     tda_hits: int = 0
@@ -30,6 +45,28 @@ class PdptEntry:
     pd: int = 0
     # not hardware: lifetime activity marker so reports can skip idle rows
     ever_used: bool = False
+
+
+def _make_entry(
+    insn_id: int,
+    iid_bits: int,
+    tda_hit_bits: int,
+    vta_hit_bits: int,
+    pd_bits: int,
+) -> PdptEntry:
+    """Build one entry, re-widening contracts for ablation shapes
+    *before* the first field write (no-op unless REPRO_CHECK is set)."""
+    entry = PdptEntry.__new__(PdptEntry)
+    if iid_bits != INSN_ID_BITS:
+        set_field_width(entry, "insn_id", iid_bits)
+    if tda_hit_bits != TDA_HIT_BITS:
+        set_field_width(entry, "tda_hits", tda_hit_bits)
+    if vta_hit_bits != VTA_HIT_BITS:
+        set_field_width(entry, "vta_hits", vta_hit_bits)
+    if pd_bits != PD_BITS:
+        set_field_width(entry, "pd", pd_bits)
+    entry.__init__(insn_id)
+    return entry
 
 
 class PredictionTable:
@@ -41,14 +78,18 @@ class PredictionTable:
         tda_hit_bits: int = TDA_HIT_BITS,
         vta_hit_bits: int = VTA_HIT_BITS,
         pd_bits: int = PD_BITS,
-    ):
+    ) -> None:
         if num_entries < 1:
             raise ValueError("PDPT needs at least one entry")
         self.num_entries = num_entries
         self.tda_hit_max = (1 << tda_hit_bits) - 1
         self.vta_hit_max = (1 << vta_hit_bits) - 1
         self.pd_max = (1 << pd_bits) - 1
-        self.entries: List[PdptEntry] = [PdptEntry(i) for i in range(num_entries)]
+        iid_bits = max(INSN_ID_BITS, (num_entries - 1).bit_length())
+        self.entries: List[PdptEntry] = [
+            _make_entry(i, iid_bits, tda_hit_bits, vta_hit_bits, pd_bits)
+            for i in range(num_entries)
+        ]
         # Program-level accumulators for the global check of Fig. 9.  Kept
         # separately from the per-entry counters so per-entry saturation
         # does not distort the global comparison.

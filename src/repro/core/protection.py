@@ -14,7 +14,7 @@ Two pieces:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.core.pdpt import PredictionTable
 
@@ -93,7 +93,7 @@ def run_pd_update(table: PredictionTable, nasc: int) -> PdUpdateResult:
 
 def run_global_pd_update(
     global_pd: int, pd_max: int, nasc: int, g_tda: int, g_vta: int
-) -> tuple:
+) -> Tuple[int, str]:
     """The Global-Protection variant (Section 5.3): one PD for the whole
     cache, adjusted from the program-level hit counts with the same step
     comparison and the same decrease rule.  Returns ``(new_pd, path)``."""

@@ -32,6 +32,13 @@ class SampleWindow:
     def tick_access(self) -> bool:
         """Count one cache access; True when the sample just completed."""
         self.accesses += 1
+        if self.accesses > self.access_limit:
+            raise RuntimeError(
+                f"sampling window overshot: {self.accesses} accesses counted "
+                f"against a limit of {self.access_limit}. A window close was "
+                f"skipped (or the counter was tampered with), so PD updates "
+                f"are no longer {self.access_limit}-access aligned."
+            )
         if self.accesses >= self.access_limit:
             self._close("accesses")
             return True

@@ -9,10 +9,15 @@ on applications like SRAD and BT (Section 6.1.1).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.cache.replacement import lru_victim
 from repro.core.policy import CachePolicy, StallReason
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.l1d import MemAccess
+    from repro.cache.line import CacheLine
+    from repro.cache.tagarray import CacheSet
 
 
 class StallBypassPolicy(CachePolicy):
@@ -20,19 +25,23 @@ class StallBypassPolicy(CachePolicy):
 
     def __init__(self) -> None:
         super().__init__()
-        self.bypassed_by_reason = {reason.value: 0 for reason in StallReason}
+        self.bypassed_by_reason: Dict[str, int] = {
+            reason.value: 0 for reason in StallReason
+        }
 
-    def select_victim(self, cache_set, access) -> Optional[object]:
+    def select_victim(
+        self, cache_set: "CacheSet", access: "MemAccess"
+    ) -> Optional["CacheLine"]:
         return lru_victim(cache_set)
 
-    def bypass_on_no_victim(self, access) -> bool:
+    def bypass_on_no_victim(self, access: "MemAccess") -> bool:
         # "no reservable slot in set" is one of the stall reasons
         self.bypassed_by_reason[StallReason.NO_RESERVABLE_LINE.value] += 1
         return True
 
-    def bypass_on_stall(self, reason: StallReason, access) -> bool:
+    def bypass_on_stall(self, reason: StallReason, access: "MemAccess") -> bool:
         self.bypassed_by_reason[reason.value] += 1
         return True
 
-    def stats(self):
+    def stats(self) -> Dict[str, float]:
         return {f"bypass_{k}": v for k, v in self.bypassed_by_reason.items()}

@@ -16,10 +16,16 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.cache.tagarray import CacheGeometry
+from repro.check.contracts import BitField, hw_checked
+from repro.core.pdpt import INSN_ID_BITS
 
 
+@hw_checked(insn_id=BitField(INSN_ID_BITS))
 @dataclass
 class VictimEntry:
+    """One VTA slot: evicted tag + the paper's 7-bit instruction ID
+    (width contract-enforced under ``REPRO_CHECK=1``)."""
+
     valid: bool = False
     tag: int = -1
     insn_id: int = 0
@@ -29,7 +35,7 @@ class VictimEntry:
 class VictimTagArray:
     """Set-associative array of evicted-line tags."""
 
-    def __init__(self, geometry: CacheGeometry, assoc: Optional[int] = None):
+    def __init__(self, geometry: CacheGeometry, assoc: Optional[int] = None) -> None:
         self.geometry = geometry
         self.assoc = assoc if assoc is not None else geometry.assoc
         if self.assoc < 1:

@@ -102,8 +102,13 @@ def get_executor() -> SweepExecutor:
 
 def set_executor(executor: SweepExecutor) -> SweepExecutor:
     """Install ``executor`` as the shared runner backend; returns the
-    previous one (so tests can restore it)."""
-    global _executor
+    previous one (so tests can restore it).
+
+    Deliberately process-local: workers never route sweeps through the
+    shared backend (cells are simulated directly in the worker), so the
+    parent-only swap is safe.
+    """
+    global _executor  # repro-check: allow(R004)
     previous = _executor
     _executor = executor
     return previous

@@ -118,6 +118,10 @@ class _VarintStream:
             if shift > 70:
                 raise TraceFormatError("corrupt trace: varint too long")
 
+    def at_eof(self) -> bool:
+        """True when the source has no further bytes (consumes nothing)."""
+        return self._pos >= len(self._buf) and not self._refill()
+
 
 # ----------------------------------------------------------------------
 # writer
@@ -345,6 +349,12 @@ class TraceReader:
                 packed = stream.read_uvarint()
                 prev_block, prev_pc = block, pc
                 yield TraceRecord(sm_id, block, pc, bool(packed & 1), packed >> 1)
+            if not stream.at_eof():
+                raise TraceFormatError(
+                    f"{self.path}: SM{sm_id} section holds more than the "
+                    f"{expected} records the header declares — "
+                    f"records_per_sm does not match the stream"
+                )
         except (EOFError, OSError, gzip.BadGzipFile) as exc:
             raise TraceFormatError(
                 f"{self.path}: corrupt SM{sm_id} section ({exc})"

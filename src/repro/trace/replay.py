@@ -36,7 +36,7 @@ from repro.core import make_policy
 from repro.core.policy import CachePolicy
 from repro.gpu.config import GPUConfig
 from repro.gpu.simulator import SimResult
-from repro.trace.format import TraceReader, TraceRecord
+from repro.trace.format import TraceFormatError, TraceReader, TraceRecord
 from repro.utils.hashing import hash_pc
 from repro.workloads.base import Workload
 
@@ -76,6 +76,9 @@ class ReplayEngine:
             )
             self.caches.append(cache)
         self.replayed_records = 0
+        #: Records replayed per SM stream; :func:`replay_trace` checks
+        #: this against the trace header's ``records_per_sm``.
+        self.replayed_per_sm: List[int] = [0] * config.num_sms
 
     # -- plumbing ------------------------------------------------------
 
@@ -129,6 +132,7 @@ class ReplayEngine:
                 self.sent_fetches += 1
                 cache.fill(fetch.block_addr, 0)
         self.replayed_records += 1
+        self.replayed_per_sm[sm_id] += 1
 
     def run(self, records: Iterable[TraceRecord]) -> SimResult:
         for record in records:
@@ -236,7 +240,22 @@ def replay_trace(
             f"line-size mismatch: trace recorded at {reader.line_size} B, "
             f"config uses {config.l1d.line_size} B"
         )
-    return replay_records(iter(reader), config, scheme, **policy_kwargs)
+    config, factory = _resolve(scheme, config, **policy_kwargs)
+    engine = ReplayEngine(config, factory)
+    result = engine.run(iter(reader))
+    replayed = engine.replayed_per_sm[: reader.num_sms]
+    if replayed != reader.records_per_sm:
+        bad = [
+            f"SM{sm}: header says {want}, replayed {got}"
+            for sm, (want, got) in enumerate(zip(reader.records_per_sm, replayed))
+            if want != got
+        ]
+        raise TraceFormatError(
+            f"{reader.path}: replayed record counts disagree with the "
+            f"trace header ({'; '.join(bad)}) — the trace is corrupt or "
+            f"its header was edited"
+        )
+    return result
 
 
 def replay_workload(

@@ -61,3 +61,19 @@ class TestValidation:
             SampleWindow(access_limit=0)
         with pytest.raises(ValueError):
             SampleWindow(insn_limit=0)
+
+
+class TestAlignment:
+    """PD updates must stay aligned to the access_limit boundary."""
+
+    def test_overshoot_detected(self):
+        w = SampleWindow(access_limit=200)
+        w.accesses = 205  # a window close was skipped upstream
+        with pytest.raises(RuntimeError, match="200-access aligned"):
+            w.tick_access()
+
+    def test_exact_alignment_never_overshoots(self):
+        w = SampleWindow(access_limit=200, insn_limit=10**9)
+        closes = sum(1 for _ in range(1000) if w.tick_access())
+        assert closes == 5
+        assert w.accesses == 0

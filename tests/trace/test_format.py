@@ -181,3 +181,53 @@ class TestMetadataInspection:
         assert info["total_records"] == 100
         assert info["meta"]["abbr"] == "MM"
         assert info["records_per_sm"] == [100]
+
+
+def doctor_header(path, mutate):
+    """Rewrite the JSON header in place (space-padded to keep hdrlen)."""
+    raw = path.read_bytes()
+    hdrlen = struct.unpack("<I", raw[6:10])[0]
+    header = json.loads(raw[10:10 + hdrlen])
+    mutate(header)
+    new = json.dumps(header, sort_keys=True, separators=(",", ":")).encode()
+    assert len(new) <= hdrlen, "doctored header grew past the original"
+    path.write_bytes(raw[:10] + new.ljust(hdrlen) + raw[10 + hdrlen:])
+
+
+class TestHeaderConsistency:
+    """The per-SM record counts in the header must match the streams."""
+
+    def _trace(self, tmp_path):
+        path = tmp_path / "t.rptr"
+        records = [
+            TraceRecord(0, 0x100 + i, 0x40, False, i % 4) for i in range(8)
+        ] + [TraceRecord(1, 0x900 + i, 0x44, bool(i % 2), 0) for i in range(5)]
+        write_trace(path, records, num_sms=2)
+        return path
+
+    def test_undercounting_header_detected(self, tmp_path):
+        path = self._trace(tmp_path)
+
+        def cut(header):
+            header["records_per_sm"][0] -= 2
+            header["total_records"] -= 2
+
+        doctor_header(path, cut)
+        with pytest.raises(TraceFormatError, match="more than the 6 records"):
+            list(TraceReader(path).sm_stream(0))
+
+    def test_overcounting_header_detected(self, tmp_path):
+        path = self._trace(tmp_path)
+
+        def pad(header):
+            header["records_per_sm"][1] += 3
+            header["total_records"] += 3
+
+        doctor_header(path, pad)
+        with pytest.raises(TraceFormatError, match="mid-varint"):
+            list(TraceReader(path).sm_stream(1))
+
+    def test_honest_header_streams_clean(self, tmp_path):
+        path = self._trace(tmp_path)
+        reader = TraceReader(path)
+        assert [len(list(reader.sm_stream(sm))) for sm in range(2)] == [8, 5]

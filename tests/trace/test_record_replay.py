@@ -123,3 +123,34 @@ class TestTimingTap:
         # the timing stream replays cleanly through the replay engine
         replayed = replay_trace(reader, "baseline", config)
         assert replayed.l1d.accesses == result.l1d.accesses
+
+
+class TestReplayHeaderGuard:
+    """Replay cross-checks per-SM record counts against the header."""
+
+    def test_engine_counts_match_header(self, traces, config):
+        from repro.trace.replay import ReplayEngine, _resolve
+
+        reader = TraceReader(traces["MM"])
+        cfg, factory = _resolve("baseline", config)
+        engine = ReplayEngine(cfg, factory)
+        engine.run(iter(reader))
+        assert engine.replayed_per_sm[: reader.num_sms] == reader.records_per_sm
+        assert engine.replayed_records == reader.total_records
+
+    def test_doctored_counts_rejected(self, traces, config, tmp_path):
+        import shutil
+
+        from repro.trace.format import TraceFormatError
+        from tests.trace.test_format import doctor_header
+
+        path = tmp_path / "doctored.rptr"
+        shutil.copy(traces["MM"], path)
+
+        def cut(header):
+            header["records_per_sm"][0] -= 1
+            header["total_records"] -= 1
+
+        doctor_header(path, cut)
+        with pytest.raises(TraceFormatError):
+            replay_trace(str(path), "baseline", config)
