@@ -158,3 +158,41 @@ class PdTracker:
             rows,
             title="PD evolution",
         )
+
+
+def render_latency_histogram(title: str, snapshot: Dict,
+                             bar_width: int = 30) -> str:
+    """Render one service latency histogram as an ascii table.
+
+    ``snapshot`` is the Prometheus-style document produced by
+    :meth:`repro.serve.metrics.LatencyHistogram.snapshot` (cumulative
+    bucket counts keyed by upper bound); rendered here per-bucket with
+    a proportional bar, the way ``repro submit metrics`` shows it.
+    Empty buckets are folded away so a sparse histogram stays short.
+    """
+    buckets = snapshot.get("buckets", {})
+    total = snapshot.get("count", 0)
+    rows: List[tuple] = []
+    previous = 0
+    # JSON round-trips sort keys lexicographically; recover numeric
+    # bound order (with +Inf last) before un-cumulating the counts.
+    ordered = sorted(
+        buckets.items(),
+        key=lambda kv: float("inf") if kv[0] == "+Inf" else float(kv[0]),
+    )
+    for bound, cumulative in ordered:
+        in_bucket = cumulative - previous
+        previous = cumulative
+        if in_bucket == 0:
+            continue
+        bar = "#" * max(1, round(bar_width * in_bucket / total)) \
+            if total else ""
+        rows.append((f"<= {bound}s", str(in_bucket), bar))
+    if not rows:
+        rows.append(("(empty)", "0", ""))
+    mean = snapshot.get("sum", 0.0) / total if total else 0.0
+    return ascii_table(
+        ["bucket", "count", ""],
+        rows,
+        title=f"{title}: n={total}, mean={mean * 1000:.2f} ms",
+    )

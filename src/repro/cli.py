@@ -9,7 +9,12 @@ figure     regenerate one paper table/figure by name (fig2..fig13, table1,
 sweep      run an app x scheme grid through the parallel executor,
            optionally backed by an on-disk result store; ``--replay``
            switches to record-once / replay-per-scheme
-store      inspect (``ls``) or wipe (``clear``) an on-disk result store
+store      inspect (``ls``), wipe (``clear``) or age out (``prune``)
+           an on-disk result store
+serve      run the long-lived async simulation service (HTTP job API,
+           request coalescing, /healthz + /metrics, SIGTERM drain)
+submit     drive a running service: submit cell/sweep/replay jobs,
+           poll status, cancel, inspect metrics
 profile    reuse-distance analysis of one application (Fig. 3/7 style)
 trace      record, inspect, replay and import memory traces
 check      determinism linter + hardware-contract static checks (CI gate)
@@ -25,6 +30,12 @@ Examples
     python -m repro sweep --apps BFS,KM --jobs 4 --store .repro-store
     python -m repro sweep --apps BFS,KM --replay --trace-dir .repro-traces
     python -m repro store ls
+    python -m repro store prune --max-age 7d --max-entries 500
+    python -m repro serve --port 8642 --workers 4 --store .repro-store
+    python -m repro submit cell BFS dlp --wait
+    python -m repro submit sweep --apps BFS,KM --schemes baseline,dlp
+    python -m repro submit status job-000001
+    python -m repro submit metrics
     python -m repro profile BFS
     python -m repro trace record BFS --out bfs.rptr --scale 0.5
     python -m repro trace info bfs.rptr
@@ -127,10 +138,89 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: in-memory, this run only)")
 
     p_store = sub.add_parser("store", help="manage an on-disk result store")
-    p_store.add_argument("action", choices=["ls", "clear"])
+    p_store.add_argument("action", choices=["ls", "clear", "prune"])
     p_store.add_argument("--store", default=None, metavar="DIR",
                          help="store directory (default: $REPRO_STORE "
                               "or .repro-store)")
+    p_store.add_argument("--max-age", default=None, metavar="AGE",
+                         help="prune: drop entries older than AGE "
+                              "(seconds, or suffixed: 90s, 30m, 12h, 7d)")
+    p_store.add_argument("--max-entries", type=int, default=None, metavar="N",
+                         help="prune: keep only the newest N entries")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the long-lived async simulation service"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642,
+                         help="listen port (0 = ephemeral; default 8642)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="simulation worker processes (default 2)")
+    p_serve.add_argument("--store", default=None, metavar="DIR",
+                         help="result store directory (default: "
+                              "$REPRO_STORE or .repro-store)")
+    p_serve.add_argument("--trace-dir", default=None, metavar="DIR",
+                         help="shared trace directory for replay jobs "
+                              "(default: capture in-worker, no sharing)")
+    p_serve.add_argument("--drain-timeout", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="max wait for active jobs on SIGTERM "
+                              "(default 30)")
+
+    p_submit = sub.add_parser(
+        "submit", help="submit jobs to / inspect a running service"
+    )
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, default=8642)
+    p_submit.add_argument("--timeout", type=float, default=300.0,
+                          help="max seconds to wait with --wait")
+    submit_sub = p_submit.add_subparsers(dest="submit_command", required=True)
+
+    s_cell = submit_sub.add_parser("cell", help="one timing simulation")
+    s_cell.add_argument("app", help="Table 2 abbreviation (e.g. BFS)")
+    s_cell.add_argument("scheme", help="policy scheme (e.g. dlp)")
+    s_cell.add_argument("--sms", type=int, default=4)
+    s_cell.add_argument("--scale", type=float, default=1.0)
+    s_cell.add_argument("--seed", type=int, default=0)
+    s_cell.add_argument("--max-cycles", type=int, default=None)
+
+    s_sweep = submit_sub.add_parser("sweep", help="a bulk timing grid")
+    s_sweep.add_argument("--apps", required=True,
+                         help="comma-separated Table 2 abbrs")
+    s_sweep.add_argument("--schemes", default=",".join(TRAFFIC_SCHEMES))
+    s_sweep.add_argument("--sms", type=int, default=4)
+    s_sweep.add_argument("--scale", type=float, default=1.0)
+    s_sweep.add_argument("--seed", type=int, default=0)
+
+    s_replay = submit_sub.add_parser(
+        "replay", help="a trace-replay grid (functional counters)"
+    )
+    s_replay.add_argument("--apps", required=True)
+    s_replay.add_argument("--schemes", default=",".join(TRAFFIC_SCHEMES))
+    s_replay.add_argument("--sms", type=int, default=4)
+    s_replay.add_argument("--scale", type=float, default=1.0)
+    s_replay.add_argument("--seed", type=int, default=0)
+
+    for p in (s_cell, s_sweep, s_replay):
+        p.add_argument("--priority", choices=["interactive", "bulk"],
+                       default=None,
+                       help="admission priority (default: interactive "
+                            "for single cells, bulk for grids)")
+        p.add_argument("--wait", action="store_true",
+                       help="poll until the job settles and print results")
+
+    s_status = submit_sub.add_parser("status", help="poll one job")
+    s_status.add_argument("job_id")
+    s_status.add_argument("--wait", action="store_true")
+
+    s_cancel = submit_sub.add_parser("cancel", help="cancel one job")
+    s_cancel.add_argument("job_id")
+
+    s_metrics = submit_sub.add_parser("metrics", help="service metrics")
+    s_metrics.add_argument("--prom", action="store_true",
+                           help="raw Prometheus text instead of tables")
+
+    submit_sub.add_parser("health", help="service liveness/drain state")
 
     p_prof = sub.add_parser("profile", help="reuse-distance analysis")
     p_prof.add_argument("app")
@@ -333,11 +423,39 @@ def _replay_sweep(args, apps, schemes) -> int:
     return 0
 
 
+def _parse_age(text: str) -> float:
+    """``"90"``/``"90s"``/``"30m"``/``"12h"``/``"7d"`` -> seconds."""
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+    scale = 1.0
+    if text and text[-1].lower() in units:
+        scale = units[text[-1].lower()]
+        text = text[:-1]
+    try:
+        seconds = float(text) * scale
+    except ValueError:
+        raise ValueError(
+            f"bad age {text!r}: expected seconds or a 90s/30m/12h/7d form"
+        ) from None
+    if seconds < 0:
+        raise ValueError("age must be non-negative")
+    return seconds
+
+
 def cmd_store(args) -> int:
     store = ResultStore(args.store or default_store_dir())
     if args.action == "clear":
         removed = store.clear()
         print(f"removed {removed} entries from {store.root}")
+        return 0
+    if args.action == "prune":
+        if args.max_age is None and args.max_entries is None:
+            raise ValueError("prune needs --max-age and/or --max-entries")
+        if args.max_entries is not None and args.max_entries < 0:
+            raise ValueError("--max-entries must be >= 0")
+        max_age = _parse_age(args.max_age) if args.max_age is not None else None
+        removed = store.prune(max_age=max_age, max_entries=args.max_entries)
+        print(f"pruned {removed} entries from {store.root} "
+              f"({len(store)} remain)")
         return 0
     entries = store.ls()
     rows = [
@@ -356,6 +474,140 @@ def cmd_store(args) -> int:
         rows,
         title=f"{store.root}: {len(entries)} entries",
     ))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve.server import serve_async
+
+    return asyncio.run(serve_async(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        store=args.store or default_store_dir(),
+        trace_dir=args.trace_dir,
+        drain_timeout=args.drain_timeout,
+    ))
+
+
+def _render_job(doc) -> str:
+    """One settled job's results as the familiar sweep-style table."""
+    from repro.gpu.simulator import SimResult
+
+    rows = []
+    for entry in doc.get("results") or []:
+        unit, r = entry["unit"], SimResult.from_dict(entry["result"])
+        rows.append((
+            unit["app"],
+            SCHEME_LABELS.get(unit["scheme"], unit["scheme"]),
+            str(r.cycles),
+            f"{r.ipc:.4g}",
+            f"{r.l1d.hit_rate:.3f}",
+            str(r.l1d.bypasses),
+        ))
+    return ascii_table(
+        ["App", "Scheme", "Cycles", "IPC", "Hit rate", "Bypasses"],
+        rows,
+        title=f"{doc['id']}: {doc['kind']} {doc['state']} "
+              f"({doc['units']} units)",
+    )
+
+
+def cmd_submit(args) -> int:
+    from repro.analysis.telemetry import render_latency_histogram
+    from repro.serve.client import JobFailedError, ServeClient
+    from repro.serve.protocol import (
+        cell_request,
+        replay_request,
+        sweep_request,
+    )
+
+    client = ServeClient(host=args.host, port=args.port)
+    cmd = args.submit_command
+
+    if cmd == "health":
+        doc = client.healthz()
+        print(ascii_table(["field", "value"],
+                          [(k, str(v)) for k, v in sorted(doc.items())],
+                          title=f"{args.host}:{args.port}"))
+        return 0 if doc.get("status") in ("ok", "draining") else 1
+
+    if cmd == "metrics":
+        if args.prom:
+            print(client.metrics_prometheus(), end="")
+            return 0
+        doc = client.metrics()
+        rows = [(f"{group}.{k}", str(v))
+                for group in ("jobs", "cells", "store")
+                for k, v in sorted(doc.get(group, {}).items())]
+        rows.append(("draining", str(doc.get("draining"))))
+        rows.append(("uptime_seconds", str(doc.get("uptime_seconds"))))
+        print(ascii_table(["metric", "value"], rows, title="repro-serve"))
+        print()
+        print(render_latency_histogram("queue wait",
+                                       doc["queue_wait_seconds"]))
+        for scheme, hist in doc.get("sim_latency_seconds", {}).items():
+            print()
+            print(render_latency_histogram(f"sim latency [{scheme}]", hist))
+        return 0
+
+    if cmd == "cancel":
+        doc = client.cancel(args.job_id)
+        print(f"{doc['id']}: cancelled={doc['cancelled']} "
+              f"state={doc['state']}")
+        return 0 if doc["cancelled"] else 1
+
+    if cmd == "status":
+        doc = client.wait(args.job_id, timeout=args.timeout,
+                          raise_on_failure=False) \
+            if args.wait else client.status(args.job_id)
+        if doc.get("results"):
+            print(_render_job(doc))
+        else:
+            print(f"{doc['id']}: {doc['state']} "
+                  f"({doc['units']} units, kind {doc['kind']})")
+            if doc.get("error"):
+                print(f"error: {doc['error'].get('error')}", file=sys.stderr)
+        return 0 if doc["state"] in ("queued", "running", "done") else 1
+
+    if cmd == "cell":
+        body = cell_request(args.app.upper(), args.scheme, sms=args.sms,
+                            scale=args.scale, seed=args.seed,
+                            max_cycles=args.max_cycles,
+                            priority=args.priority)
+    elif cmd == "sweep":
+        body = sweep_request(
+            [a.strip() for a in args.apps.split(",") if a.strip()],
+            [s.strip() for s in args.schemes.split(",") if s.strip()],
+            sms=args.sms, scale=args.scale, seed=args.seed,
+            priority=args.priority,
+        )
+    else:  # replay
+        body = replay_request(
+            [a.strip() for a in args.apps.split(",") if a.strip()],
+            [s.strip() for s in args.schemes.split(",") if s.strip()],
+            sms=args.sms, scale=args.scale, seed=args.seed,
+            priority=args.priority,
+        )
+    job = client.submit(body)
+    print(f"submitted {job['id']} ({job['kind']}, {job['units']} units, "
+          f"priority {job['priority']})")
+    if not args.wait:
+        return 0
+    try:
+        doc = client.wait(job["id"], timeout=args.timeout)
+    except JobFailedError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        error = exc.job.get("error") or {}
+        if error.get("fingerprint"):
+            import json as _json
+
+            print(_json.dumps(error["fingerprint"], indent=2, sort_keys=True),
+                  file=sys.stderr)
+        return 1
+    print(_render_job(doc))
     return 0
 
 
@@ -490,6 +742,8 @@ _COMMANDS = {
     "figure": cmd_figure,
     "sweep": cmd_sweep,
     "store": cmd_store,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
     "profile": cmd_profile,
     "trace": cmd_trace,
     "check": cmd_check,
@@ -498,9 +752,24 @@ _COMMANDS = {
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.experiments.executor import CellExecutionError
+    from repro.serve.client import ServeError
+
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except CellExecutionError as exc:
+        # one cell's failure, labelled with its content-addressed
+        # identity — never a bare worker-pool traceback
+        import json as _json
+
+        print(f"error: {exc}", file=sys.stderr)
+        print(_json.dumps(exc.payload()["fingerprint"], indent=2,
+                          sort_keys=True), file=sys.stderr)
+        return 3
     except (ValueError, TraceFormatError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

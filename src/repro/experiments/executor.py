@@ -28,7 +28,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.gpu.config import GPUConfig
 from repro.gpu.simulator import SimResult
-from repro.experiments.store import MemoryStore, cell_key
+from repro.experiments.store import MemoryStore, cell_fingerprint, cell_key
 from repro.utils.rng import derive_seed
 
 
@@ -96,6 +96,50 @@ class Cell:
             "num_sms": self.resolved_config().num_sms,
             "scale": self.scale,
             "seed": self.seed,
+        }
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """The cell's full content-addressed identity (JSON data)."""
+        return cell_fingerprint(
+            self.abbr,
+            self.scheme,
+            self.resolved_config(),
+            scale=self.scale,
+            seed=self.seed,
+            max_cycles=self.max_cycles,
+            policy_kwargs=dict(self.policy_kwargs),
+        )
+
+
+class CellExecutionError(RuntimeError):
+    """One cell's simulation failed inside a worker.
+
+    A bare ``ProcessPoolExecutor`` traceback says *that* a worker died
+    but not *which cell* killed it — useless in a 40-cell sweep and
+    worse in a service job-failure payload.  This wraps the original
+    exception with the failing cell's identity: the human-readable
+    summary in the message, and the full content-addressed
+    :meth:`Cell.fingerprint` for machine consumers (``repro.serve``
+    returns it verbatim in failed-job responses).
+    """
+
+    def __init__(self, cell: Cell, key: str, cause: BaseException) -> None:
+        self.cell = cell
+        self.key = key
+        self.cause = cause
+        meta = cell.meta()
+        ident = ", ".join(f"{k}={v}" for k, v in meta.items())
+        super().__init__(
+            f"cell {key[:12]} ({ident}) failed: "
+            f"{type(cause).__name__}: {cause}"
+        )
+
+    def payload(self) -> Dict[str, Any]:
+        """Machine-readable failure description (service job payloads)."""
+        return {
+            "key": self.key,
+            "fingerprint": self.cell.fingerprint(),
+            "error": f"{type(self.cause).__name__}: {self.cause}",
         }
 
 
@@ -221,12 +265,22 @@ class SweepExecutor:
     ) -> List[Tuple[str, Dict[str, Any]]]:
         items = list(pending.items())
         if self.jobs == 1 or len(items) == 1:
-            return [(key, simulate_cell(cell)) for key, cell in items]
-        out: List[Tuple[str, Dict[str, Any]]] = []
+            out = []
+            for key, cell in items:
+                try:
+                    out.append((key, simulate_cell(cell)))
+                except Exception as exc:
+                    raise CellExecutionError(cell, key, exc) from exc
+            return out
+        out = []
         with ProcessPoolExecutor(max_workers=min(self.jobs, len(items))) as pool:
             futures = {
                 pool.submit(simulate_cell, cell): key for key, cell in items
             }
             for future in as_completed(futures):
-                out.append((futures[future], future.result()))
+                key = futures[future]
+                try:
+                    out.append((key, future.result()))
+                except Exception as exc:
+                    raise CellExecutionError(pending[key], key, exc) from exc
         return out

@@ -37,6 +37,7 @@ from typing import Any, Dict, List, Mapping, Optional
 
 from repro.gpu.config import GPUConfig
 from repro.gpu.simulator import SimResult
+from repro.utils import wallclock
 
 #: Bump on any change that alters simulation *semantics* (see module
 #: docstring); stale entries keyed under older stamps are simply never
@@ -257,11 +258,31 @@ class ResultStore:
 
     def put(self, key: str, result: SimResult,
             meta: Optional[Dict[str, Any]] = None) -> None:
+        """Atomically publish one entry.
+
+        The payload is staged in a per-process ``*.tmp.<pid>`` file,
+        flushed and fsynced, then ``os.replace``d into place — so a
+        reader (or a concurrent writer of the same key) only ever sees
+        either no entry or one complete JSON payload, never a torn one,
+        even if the writing process dies mid-``put``.  Failures clean up
+        the staging file; a crash that skips cleanup leaves only a
+        ``*.tmp.*`` orphan, which every read path ignores.
+        """
         payload = {"meta": dict(meta or {}), "result": result.to_dict()}
         path = self._path(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload, sort_keys=True))
-        os.replace(tmp, path)
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(payload, sort_keys=True))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
         self.stats.puts += 1
 
     def ls(self) -> List[Dict[str, Any]]:
@@ -280,6 +301,57 @@ class ResultStore:
             path.unlink()
             count += 1
         return count
+
+    def prune(
+        self,
+        max_age: Optional[float] = None,
+        max_entries: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> int:
+        """Evict old entries; returns the number removed.
+
+        ``max_age`` drops every entry whose file mtime is older than
+        that many seconds (against ``now``, wall clock by default —
+        tests pass an explicit ``now``).  ``max_entries`` then keeps
+        only the newest N by mtime.  Either may be ``None``; calling
+        with both ``None`` is a no-op.  A long-running service calls
+        this periodically so a shared store directory cannot grow
+        without bound.
+        """
+        if max_age is None and max_entries is None:
+            return 0
+        entries = []
+        for path in self.root.glob("*.json"):
+            try:
+                entries.append((path.stat().st_mtime, path))
+            except FileNotFoundError:  # raced with a concurrent prune
+                continue
+        removed = 0
+        if max_age is not None:
+            if now is None:
+                now = wallclock.now()
+            cutoff = now - max_age
+            survivors = []
+            for mtime, path in entries:
+                if mtime < cutoff:
+                    removed += self._try_unlink(path)
+                else:
+                    survivors.append((mtime, path))
+            entries = survivors
+        if max_entries is not None and len(entries) > max_entries:
+            entries.sort(key=lambda e: (e[0], e[1].name))
+            excess = len(entries) - max_entries
+            for _mtime, path in entries[:excess]:
+                removed += self._try_unlink(path)
+        return removed
+
+    @staticmethod
+    def _try_unlink(path: Path) -> int:
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            return 0
+        return 1
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.json"))

@@ -1,0 +1,52 @@
+"""``repro.serve`` — long-running asynchronous simulation service.
+
+Every other entry point in this repo (``repro run/compare/sweep/trace
+replay``) is a one-shot CLI process: full interpreter start-up, full
+re-simulation unless a store is warm, one caller at a time.  This
+package turns the same engines into a service:
+
+* :mod:`repro.serve.protocol` — job request/response shapes and their
+  validation (a job is one cell, a sweep grid, or a trace replay);
+* :mod:`repro.serve.scheduler` — the core: a priority job queue over a
+  bounded ``ProcessPoolExecutor``, with identical in-flight requests
+  **coalesced** onto one execution keyed by the store's content
+  addresses (``cell_key``/``replay_cell_key``) and warm results served
+  straight from the result store;
+* :mod:`repro.serve.metrics` — counters and latency histograms behind
+  the ``/metrics`` endpoint;
+* :mod:`repro.serve.server` — a stdlib-only asyncio HTTP front end
+  (``repro serve``) with ``/healthz``, ``/metrics``, job submission,
+  polling, cancellation, and graceful drain on SIGTERM;
+* :mod:`repro.serve.client` — a blocking HTTP client (``repro submit``
+  and the test suite drive the service through it).
+
+The whole package is stdlib-only (asyncio + http.client); simulation
+semantics live entirely in the engines it schedules — nothing here may
+alter what a simulation produces, only when and where it runs.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.metrics import LatencyHistogram, ServeMetrics
+from repro.serve.protocol import (
+    JobRequest,
+    ProtocolError,
+    UnitSpec,
+    parse_job_request,
+)
+from repro.serve.scheduler import Scheduler, UnitExecutionError
+from repro.serve.server import ServerThread, serve_async
+
+__all__ = [
+    "JobRequest",
+    "LatencyHistogram",
+    "ProtocolError",
+    "Scheduler",
+    "ServeClient",
+    "ServeError",
+    "ServeMetrics",
+    "ServerThread",
+    "UnitExecutionError",
+    "UnitSpec",
+    "parse_job_request",
+    "serve_async",
+]

@@ -1,0 +1,137 @@
+"""Job bookkeeping and the worker-process entry points.
+
+A :class:`Job` is the service-side record of one client submission:
+its request, lifecycle state, per-unit results and (on failure) the
+machine-readable error payload.  Jobs never cross the process boundary
+— only the two module-level worker functions below do, and both return
+plain serialized dicts (the store's exact on-disk representation), so
+a payload that crossed the pool and one read back from disk are
+bit-identical.
+
+Worker entry points:
+
+* timing units reuse :func:`repro.experiments.executor.simulate_cell`
+  directly (same function the sweep executor ships to its pool);
+* replay units run :func:`replay_unit`, which captures the workload's
+  access stream (record-once through an optional shared trace
+  directory, atomically published) and drives the replay engine.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.gpu.config import GPUConfig
+from repro.serve.protocol import PRIORITY_NAMES, JobRequest
+from repro.utils import wallclock
+
+# job lifecycle states
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+
+@dataclass
+class Job:
+    """One submitted job and everything the status endpoint reports."""
+
+    id: str
+    request: JobRequest
+    state: str = QUEUED
+    submitted_at: float = field(default_factory=wallclock.now)
+    finished_at: Optional[float] = None
+    results: Optional[List[Dict[str, Any]]] = None
+    error: Optional[Dict[str, Any]] = None
+    task: Any = None                # the asyncio.Task driving the job
+
+    @property
+    def done(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact listing entry (``GET /jobs``)."""
+        priority_name = next(
+            (name for name, value in PRIORITY_NAMES.items()
+             if value == self.request.priority),
+            str(self.request.priority),
+        )
+        return {
+            "id": self.id,
+            "kind": self.request.kind,
+            "priority": priority_name,
+            "state": self.state,
+            "units": len(self.request.units),
+        }
+
+    def status(self, include_results: bool = True) -> Dict[str, Any]:
+        """Full status document (``GET /jobs/<id>``)."""
+        doc = self.summary()
+        doc["unit_specs"] = [u.describe() for u in self.request.units]
+        doc["submitted_at"] = round(self.submitted_at, 3)
+        if self.finished_at is not None:
+            doc["finished_at"] = round(self.finished_at, 3)
+        if self.error is not None:
+            doc["error"] = self.error
+        if include_results and self.results is not None:
+            doc["results"] = self.results
+        return doc
+
+
+# ----------------------------------------------------------------------
+# worker-process entry points (module-level: must be picklable)
+# ----------------------------------------------------------------------
+
+def replay_unit(spec: Dict[str, Any],
+                trace_dir: Optional[str] = None) -> Dict[str, Any]:
+    """Replay one ``(app, scheme)`` cell; returns the serialized result.
+
+    With a ``trace_dir``, the workload's stream is recorded at most
+    once per stream key and shared with every other scheme (and with
+    the ``repro trace``/``repro sweep --replay`` verbs).  The recording
+    is staged in a tmp file and ``os.replace``d into place, so two
+    workers racing to capture the same stream at worst record it twice
+    — a reader never observes a torn trace.
+    """
+    from repro.experiments.store import trace_key
+    from repro.trace.format import TraceReader
+    from repro.trace.record import capture_records, record_workload
+    from repro.trace.replay import replay_records, replay_trace
+    from repro.workloads import make_workload
+
+    abbr = spec["abbr"]
+    scheme = spec["scheme"]
+    scale = spec["scale"]
+    seed = spec["seed"]
+    kwargs = dict(spec["policy_kwargs"])
+    config = GPUConfig().scaled(spec["num_sms"])
+
+    if trace_dir:
+        root = Path(trace_dir)
+        root.mkdir(parents=True, exist_ok=True)
+        key = trace_key(abbr, config, scale=scale, seed=seed)
+        path = root / f"{key}.rptr"
+        if not path.exists():
+            tmp = root / f"{key}.tmp.{os.getpid()}"
+            try:
+                record_workload(make_workload(abbr, scale, seed=seed),
+                                config, tmp)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+                raise
+        result = replay_trace(TraceReader(path), scheme, config, **kwargs)
+    else:
+        records = capture_records(make_workload(abbr, scale, seed=seed),
+                                  config)
+        result = replay_records(iter(records), config, scheme, **kwargs)
+    return result.to_dict()

@@ -1,0 +1,334 @@
+"""Stdlib-only asyncio HTTP front end for the simulation service.
+
+A deliberately small HTTP/1.1 implementation over ``asyncio.streams``
+(no framework, no threads): one short-lived connection per request,
+JSON in, JSON out, ``Connection: close``.  Routes:
+
+=======  ======================  =========================================
+method   path                    behaviour
+=======  ======================  =========================================
+GET      /healthz                liveness + drain state (always answers)
+GET      /metrics                counters/histograms as JSON;
+                                 ``?format=prom`` for Prometheus text
+POST     /jobs                   submit a job (see repro.serve.protocol)
+GET      /jobs                   list job summaries
+GET      /jobs/<id>              full status incl. results when done
+POST     /jobs/<id>/cancel       cancel (also DELETE /jobs/<id>)
+=======  ======================  =========================================
+
+``serve_async`` is the long-running entry point behind ``repro serve``:
+it wires a :class:`~repro.serve.scheduler.Scheduler` to the listener,
+installs SIGTERM/SIGINT handlers, and on the first signal stops
+admitting jobs (503), drains active work, then exits cleanly.
+:class:`ServerThread` runs the same stack on a background thread with
+an ephemeral port — the harness tests and benchmarks drive a real
+server in-process through it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.serve.metrics import render_prometheus
+from repro.serve.protocol import ProtocolError, parse_job_request
+from repro.serve.scheduler import DrainingError, Scheduler
+
+#: Largest accepted request body; a sweep grid is a few hundred bytes,
+#: so anything near this is a client bug, not a bigger experiment.
+MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+class ServeApp:
+    """Route table + request handler bound to one scheduler."""
+
+    def __init__(self, scheduler: Scheduler) -> None:
+        self.scheduler = scheduler
+
+    # -- connection handling -------------------------------------------
+
+    async def handle(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        try:
+            status, body, content_type = await self._respond(reader)
+        except Exception as exc:  # a handler bug must not kill the server
+            status = 500
+            body = json.dumps({"error": f"{type(exc).__name__}: {exc}"})
+            content_type = "application/json"
+        try:
+            payload = body.encode("utf-8")
+            writer.write(
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n".encode("ascii") + payload
+            )
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _respond(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, str, str]:
+        request_line = (await reader.readline()).decode("ascii", "replace")
+        parts = request_line.split()
+        if len(parts) < 2:
+            return 400, json.dumps({"error": "malformed request line"}), \
+                "application/json"
+        method, target = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("ascii", "replace").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return 400, json.dumps(
+                        {"error": "bad Content-Length"}), "application/json"
+        if content_length > MAX_BODY_BYTES:
+            return 413, json.dumps(
+                {"error": "request body too large"}), "application/json"
+        body = await reader.readexactly(content_length) \
+            if content_length else b""
+        path, _, query = target.partition("?")
+        return self.route(method, path, query, body)
+
+    # -- routing -------------------------------------------------------
+
+    def route(self, method: str, path: str, query: str,
+              body: bytes) -> Tuple[int, str, str]:
+        """Dispatch one request; returns (status, body, content-type)."""
+        if path == "/healthz":
+            if method != "GET":
+                return self._error(405, "use GET")
+            return self._json(200, self.scheduler.health())
+
+        if path == "/metrics":
+            if method != "GET":
+                return self._error(405, "use GET")
+            snapshot = self.scheduler.metrics_snapshot()
+            if "format=prom" in query:
+                return 200, render_prometheus(snapshot), \
+                    "text/plain; version=0.0.4"
+            return self._json(200, snapshot)
+
+        if path == "/jobs":
+            if method == "GET":
+                return self._json(200, {
+                    "jobs": [
+                        job.summary()
+                        for _id, job in sorted(self.scheduler.jobs.items())
+                    ]
+                })
+            if method == "POST":
+                return self._submit(body)
+            return self._error(405, "use GET or POST")
+
+        if path.startswith("/jobs/"):
+            rest = path[len("/jobs/"):]
+            job_id, _, action = rest.partition("/")
+            job = self.scheduler.jobs.get(job_id)
+            if job is None:
+                return self._error(404, f"unknown job {job_id!r}")
+            if action == "" and method == "GET":
+                return self._json(200, job.status())
+            if (action == "cancel" and method == "POST") or \
+                    (action == "" and method == "DELETE"):
+                cancelled = self.scheduler.cancel(job_id)
+                return self._json(200, {
+                    "id": job_id,
+                    "cancelled": cancelled,
+                    "state": job.state,
+                })
+            return self._error(405, "unsupported job action")
+
+        return self._error(404, f"no route for {path!r}")
+
+    def _submit(self, body: bytes) -> Tuple[int, str, str]:
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else None
+        except (ValueError, UnicodeDecodeError):
+            return self._error(400, "request body is not valid JSON")
+        try:
+            request = parse_job_request(payload)
+        except ProtocolError as exc:
+            return self._error(400, str(exc))
+        try:
+            job = self.scheduler.submit(request)
+        except DrainingError as exc:
+            return self._error(503, str(exc))
+        return self._json(200, job.summary())
+
+    @staticmethod
+    def _json(status: int, doc: Dict[str, Any]) -> Tuple[int, str, str]:
+        return status, json.dumps(doc, sort_keys=True), "application/json"
+
+    @staticmethod
+    def _error(status: int, message: str) -> Tuple[int, str, str]:
+        return status, json.dumps({"error": message}), "application/json"
+
+
+# ----------------------------------------------------------------------
+# long-running entry point (repro serve)
+# ----------------------------------------------------------------------
+
+async def serve_async(
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    workers: int = 2,
+    store=None,
+    trace_dir=None,
+    drain_timeout: Optional[float] = None,
+    ready: Optional["threading.Event"] = None,
+    stop_event: Optional[asyncio.Event] = None,
+    scheduler: Optional[Scheduler] = None,
+    log=print,
+) -> int:
+    """Run the service until SIGTERM/SIGINT, then drain and exit.
+
+    ``store`` is anything :func:`repro.experiments.store.open_store`
+    accepts — or an already-open store object.  Returns the process
+    exit code (0 = drained clean, 1 = drain timed out and remaining
+    jobs were cancelled).
+    """
+    from repro.experiments.store import open_store
+
+    if scheduler is None:
+        opened = store if hasattr(store, "get") else open_store(store)
+        scheduler = Scheduler(store=opened, workers=workers,
+                              trace_dir=trace_dir)
+    await scheduler.start()
+    app = ServeApp(scheduler)
+    server = await asyncio.start_server(app.handle, host=host, port=port)
+    bound_port = server.sockets[0].getsockname()[1]
+
+    stop = stop_event if stop_event is not None else asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+            installed.append(sig)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # non-main thread or unsupported platform
+    if ready is not None:
+        ready.port = bound_port  # type: ignore[attr-defined]
+        ready.set()
+    log(f"repro-serve listening on http://{host}:{bound_port} "
+        f"({workers} workers)", flush=True)
+    try:
+        await stop.wait()
+        log("repro-serve draining ...", flush=True)
+        scheduler.draining = True  # reject new jobs while /healthz answers
+        clean = await scheduler.drain(timeout=drain_timeout)
+    finally:
+        for sig in installed:
+            loop.remove_signal_handler(sig)
+        server.close()
+        await server.wait_closed()
+    log(f"repro-serve drained {'clean' if clean else 'with stragglers'}; "
+        f"bye", flush=True)
+    return 0 if clean else 1
+
+
+# ----------------------------------------------------------------------
+# in-process harness (tests, benchmarks)
+# ----------------------------------------------------------------------
+
+class ServerThread:
+    """A real server on a daemon thread with an ephemeral port.
+
+    ::
+
+        with ServerThread(store=tmp_path / "store") as srv:
+            client = srv.client()
+            job = client.submit(cell_request("MM", "baseline", sms=1))
+
+    Accepts the same injection points as :class:`Scheduler`, so harness
+    tests can run stub work functions on a thread pool while the full
+    integration tests exercise real process workers.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", workers: int = 1,
+                 store=None, trace_dir=None,
+                 drain_timeout: Optional[float] = 30.0,
+                 **scheduler_kwargs) -> None:
+        self._host = host
+        self._workers = workers
+        self._store = store
+        self._trace_dir = trace_dir
+        self._drain_timeout = drain_timeout
+        self._scheduler_kwargs = scheduler_kwargs
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self.scheduler: Optional[Scheduler] = None
+        self.port: Optional[int] = None
+        self.exit_code: Optional[int] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server thread failed to start")
+        self.port = getattr(self._ready, "port", None)
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        from repro.experiments.store import open_store
+
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        store = self._store if hasattr(self._store, "get") \
+            else open_store(self._store if self._store is None
+                            else str(self._store))
+        self.scheduler = Scheduler(store=store, workers=self._workers,
+                                   trace_dir=self._trace_dir,
+                                   **self._scheduler_kwargs)
+        self.exit_code = await serve_async(
+            host=self._host, port=0, scheduler=self.scheduler,
+            drain_timeout=self._drain_timeout, ready=self._ready,
+            stop_event=self._stop, log=lambda *a, **k: None,
+        )
+
+    def stop(self) -> Optional[int]:
+        """Signal drain and join the thread; returns the exit code."""
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=60)
+        return self.exit_code
+
+    def client(self, timeout: float = 60.0):
+        from repro.serve.client import ServeClient
+
+        assert self.port is not None, "server not started"
+        return ServeClient(host=self._host, port=self.port, timeout=timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,31 @@
+"""Wall-clock access for *operational* code paths.
+
+The determinism linter (rule R001) bans ``time.time``/``time.monotonic``
+throughout the package because nothing inside a simulation may observe
+wall-clock time — results must be bit-identical run to run.  But the
+repo also contains operational layers that legitimately need a clock:
+the serving subsystem (:mod:`repro.serve`) measures queue wait and
+simulation latency for its ``/metrics`` endpoint, and
+``ResultStore.prune`` ages out old entries by file mtime.
+
+This module is the single sanctioned gateway.  Importing it is an
+explicit statement that the caller is operational telemetry, never
+simulation semantics: nothing returned from here may influence what a
+simulation *produces*, only how its execution is observed or stored.
+The allow-markers below are the human-checked assertion required by
+``repro check``.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def now() -> float:
+    """Seconds since the epoch (for mtime comparisons and timestamps)."""
+    return time.time()  # repro-check: allow(R001)
+
+
+def monotonic() -> float:
+    """Monotonic seconds (for latency/duration measurement)."""
+    return time.monotonic()  # repro-check: allow(R001)

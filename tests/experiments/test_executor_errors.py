@@ -1,0 +1,104 @@
+"""Worker failures carry the failing cell's content-addressed identity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import executor as executor_mod
+from repro.experiments.executor import (
+    Cell,
+    CellExecutionError,
+    SweepExecutor,
+)
+from repro.experiments.store import MemoryStore
+
+
+def _boom(cell):
+    raise RuntimeError(f"worker died on {cell.abbr}")
+
+
+class TestSerialPath:
+    def test_failure_wraps_cell_identity(self, monkeypatch):
+        monkeypatch.setattr(executor_mod, "simulate_cell", _boom)
+        executor = SweepExecutor(MemoryStore(), jobs=1)
+        cell = Cell.make("MM", "dlp", num_sms=1, scale=0.1)
+        with pytest.raises(CellExecutionError) as excinfo:
+            executor.run_cell(cell)
+        exc = excinfo.value
+        assert exc.cell == cell
+        assert exc.key == cell.key()
+        assert isinstance(exc.cause, RuntimeError)
+        message = str(exc)
+        assert cell.key()[:12] in message
+        assert "abbr=MM" in message and "scheme=dlp" in message
+        assert "worker died on MM" in message
+
+    def test_payload_is_the_full_fingerprint(self, monkeypatch):
+        monkeypatch.setattr(executor_mod, "simulate_cell", _boom)
+        executor = SweepExecutor(MemoryStore(), jobs=1)
+        cell = Cell.make("HS", "baseline", num_sms=2, seed=3)
+        with pytest.raises(CellExecutionError) as excinfo:
+            executor.run_cell(cell)
+        payload = excinfo.value.payload()
+        assert payload["key"] == cell.key()
+        assert payload["fingerprint"] == cell.fingerprint()
+        assert payload["fingerprint"]["config"]["num_sms"] == 2
+        assert payload["error"] == "RuntimeError: worker died on HS"
+
+    def test_only_the_bad_cell_is_blamed(self, monkeypatch):
+        real = executor_mod.simulate_cell
+
+        def fail_dlp(cell):
+            if cell.scheme == "dlp":
+                raise ValueError("dlp policy exploded")
+            return real(cell)
+
+        monkeypatch.setattr(executor_mod, "simulate_cell", fail_dlp)
+        executor = SweepExecutor(MemoryStore(), jobs=1)
+        with pytest.raises(CellExecutionError) as excinfo:
+            executor.run_sweep(["MM"], ["baseline", "dlp"],
+                               num_sms=1, scale=0.1)
+        assert excinfo.value.cell.scheme == "dlp"
+        assert "ValueError: dlp policy exploded" in str(excinfo.value)
+
+
+def _unpicklable_failure(cell):
+    # defined at module scope so the *cell* pickles into the pool fine;
+    # the failure happens inside the worker
+    raise RuntimeError(f"pool worker died on {cell.abbr}/{cell.scheme}")
+
+
+class TestParallelPath:
+    def test_pool_failure_names_the_cell_not_the_pool(self, monkeypatch):
+        """jobs>=2 goes through ProcessPoolExecutor; the raised error
+        must still identify the cell, not be a bare pool traceback."""
+        monkeypatch.setattr(
+            executor_mod, "simulate_cell", _unpicklable_failure
+        )
+        executor = SweepExecutor(MemoryStore(), jobs=2)
+        cells = [
+            Cell.make("MM", "baseline", num_sms=1, scale=0.1),
+            Cell.make("MM", "dlp", num_sms=1, scale=0.1),
+        ]
+        with pytest.raises(CellExecutionError) as excinfo:
+            executor.run_cells(cells)
+        exc = excinfo.value
+        assert exc.cell in cells
+        assert exc.key == exc.cell.key()
+        assert "pool worker died on" in str(exc)
+
+
+class TestCliExitCode:
+    def test_sweep_failure_exits_3_with_fingerprint(self, monkeypatch,
+                                                    capsys):
+        monkeypatch.setattr(executor_mod, "simulate_cell", _boom)
+        code = main(["sweep", "--apps", "MM", "--schemes", "baseline",
+                     "--sms", "1", "--scale", "0.1"])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "worker died on MM" in err
+        # the fingerprint JSON follows the message on stderr
+        assert '"abbr": "MM"' in err
+        assert '"scheme": "baseline"' in err
+        assert '"sim_version"' in err

@@ -1,0 +1,167 @@
+"""Concurrent and crash-interrupted store access.
+
+The atomic-put contract: a reader sharing a store directory with any
+number of writers — including writers that die mid-``put`` — only ever
+observes a missing entry or one complete JSON payload, never a torn
+one.  Exercised three ways: an in-process exception mid-write, a
+subprocess SIGKILLed inside ``put``, and two real processes hammering
+the same key.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cache.l1d import L1DStats
+from repro.experiments.store import ResultStore
+from repro.gpu.simulator import SimResult
+
+KEY = "k" * 64
+
+
+def stub_result(cycles: int = 123) -> SimResult:
+    return SimResult(cycles=cycles, thread_insns=10, warp_insns=5,
+                     l1d=L1DStats(), interconnect={}, l2={}, dram={},
+                     policy={})
+
+
+class ExplodingResult(SimResult):
+    """Raises partway through serialization — an interrupted put."""
+
+    def to_dict(self):
+        raise RuntimeError("simulated crash mid-put")
+
+
+class TestInterruptedPut:
+    def test_failed_put_leaves_no_entry_and_no_staging_file(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(RuntimeError):
+            store.put(KEY, ExplodingResult(
+                cycles=1, thread_insns=1, warp_insns=1, l1d=L1DStats(),
+                interconnect={}, l2={}, dram={}, policy={},
+            ))
+        assert KEY not in store
+        assert store.get(KEY) is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_store_recovers_after_failed_put(self, tmp_path):
+        store = ResultStore(tmp_path)
+        try:
+            store.put(KEY, ExplodingResult(
+                cycles=1, thread_insns=1, warp_insns=1, l1d=L1DStats(),
+                interconnect={}, l2={}, dram={}, policy={},
+            ))
+        except RuntimeError:
+            pass
+        store.put(KEY, stub_result(cycles=7))
+        assert store.get(KEY).cycles == 7
+
+    def test_tmp_orphans_are_invisible_to_reads(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, stub_result())
+        # a crashed writer's leftover staging file
+        orphan = tmp_path / f"{'x' * 64}.tmp.99999"
+        orphan.write_text("{\"truncat")
+        assert len(store) == 1
+        assert [e["key"] for e in store.ls()] == [KEY]
+        assert store.get("x" * 64) is None
+
+
+KILL_SCRIPT = """\
+import os, sys, time
+sys.path.insert(0, {src!r})
+from repro.cache.l1d import L1DStats
+from repro.gpu.simulator import SimResult
+from repro.experiments.store import ResultStore
+
+def stall(fd):                 # put() fsyncs the staged tmp before publish
+    print("INSIDE_PUT", flush=True)
+    time.sleep(30)
+
+os.fsync = stall
+store = ResultStore({root!r})
+store.put({key!r}, SimResult(
+    cycles=5, thread_insns=1, warp_insns=1, l1d=L1DStats(),
+    interconnect={{}}, l2={{}}, dram={{}}, policy={{}},
+))
+"""
+
+
+class TestKilledWriter:
+    def test_sigkill_mid_put_leaves_only_valid_json(self, tmp_path):
+        """SIGKILL a writer while it is inside ``put`` (staged tmp
+        written, not yet published); the directory must hold nothing a
+        reader could mis-parse."""
+        repo = Path(__file__).resolve().parents[2]
+        script = KILL_SCRIPT.format(
+            src=str(repo / "src"), root=str(tmp_path), key=KEY,
+        )
+        env = dict(os.environ, PYTHONPATH=str(repo / "src"))
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE, env=env, text=True,
+        )
+        try:
+            line = proc.stdout.readline()          # blocks until inside put
+            assert "INSIDE_PUT" in line
+            proc.send_signal(signal.SIGKILL)
+        finally:
+            proc.wait(timeout=30)
+
+        store = ResultStore(tmp_path)
+        assert store.get(KEY) is None              # never a torn entry
+        assert list(tmp_path.glob("*.json")) == [] # nothing was published
+        assert list(tmp_path.glob("*.tmp.*")) != []  # the orphaned stage
+        assert store.ls() == []                    # ... which ls ignores
+        # a later writer publishes over the orphan without issue
+        store.put(KEY, stub_result(cycles=9))
+        assert store.get(KEY).cycles == 9
+
+
+def _writer(root: str, key: str, cycles: int, rounds: int) -> None:
+    store = ResultStore(root)
+    for _ in range(rounds):
+        store.put(key, stub_result(cycles=cycles))
+
+
+def _reader(root: str, key: str, rounds: int, out) -> None:
+    store = ResultStore(root)
+    seen = set()
+    for _ in range(rounds):
+        result = store.get(key)
+        if result is not None:
+            seen.add(result.cycles)
+    out.put(sorted(seen))
+
+
+class TestTwoProcesses:
+    def test_concurrent_put_get_same_key_never_corrupts(self, tmp_path):
+        """Two writer processes overwrite one key while a reader polls:
+        every successful read is one of the two complete payloads."""
+        ctx = multiprocessing.get_context("spawn")
+        out = ctx.Queue()
+        writers = [
+            ctx.Process(target=_writer,
+                        args=(str(tmp_path), KEY, cycles, 50))
+            for cycles in (111, 222)
+        ]
+        reader = ctx.Process(target=_reader,
+                             args=(str(tmp_path), KEY, 200, out))
+        for proc in writers + [reader]:
+            proc.start()
+        for proc in writers + [reader]:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+        seen = out.get(timeout=10)
+        assert set(seen) <= {111, 222}
+        # the final state is one complete payload
+        final = ResultStore(tmp_path).get(KEY)
+        assert final is not None and final.cycles in (111, 222)
+        assert list(tmp_path.glob("*.tmp.*")) == []

@@ -1,0 +1,120 @@
+"""Store pruning: age and count eviction, plus the CLI verb."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cache.l1d import L1DStats
+from repro.cli import _parse_age, main
+from repro.experiments.store import ResultStore
+from repro.gpu.simulator import SimResult
+from repro.utils import wallclock
+
+
+def stub_result(cycles: int = 100) -> SimResult:
+    return SimResult(cycles=cycles, thread_insns=10, warp_insns=5,
+                     l1d=L1DStats(), interconnect={}, l2={}, dram={},
+                     policy={})
+
+
+def seed_store(root, ages, base_now=1_000_000.0) -> ResultStore:
+    """A store with one entry per ``ages`` item, mtime ``base_now - age``."""
+    store = ResultStore(root)
+    for i, age in enumerate(ages):
+        key = f"{i:064d}"
+        store.put(key, stub_result(cycles=i + 1), meta={"abbr": f"W{i}"})
+        stamp = base_now - age
+        os.utime(store._path(key), (stamp, stamp))
+    return store
+
+
+NOW = 1_000_000.0
+
+
+class TestPruneByAge:
+    def test_drops_only_entries_older_than_max_age(self, tmp_path):
+        store = seed_store(tmp_path, ages=[10, 100, 5000, 90000])
+        removed = store.prune(max_age=3600, now=NOW)
+        assert removed == 2
+        assert len(store) == 2
+        keys = {e["key"] for e in store.ls()}
+        assert keys == {f"{0:064d}", f"{1:064d}"}
+
+    def test_surviving_entries_still_read_back(self, tmp_path):
+        store = seed_store(tmp_path, ages=[10, 90000])
+        store.prune(max_age=3600, now=NOW)
+        assert store.get(f"{0:064d}").cycles == 1
+
+    def test_zero_age_drops_everything(self, tmp_path):
+        store = seed_store(tmp_path, ages=[1, 2, 3])
+        assert store.prune(max_age=0, now=NOW) == 3
+        assert len(store) == 0
+
+
+class TestPruneByCount:
+    def test_keeps_newest_n(self, tmp_path):
+        store = seed_store(tmp_path, ages=[40, 30, 20, 10])
+        removed = store.prune(max_entries=2)
+        assert removed == 2
+        # entries 2 and 3 are the newest (smallest age)
+        assert {e["key"] for e in store.ls()} == {f"{2:064d}", f"{3:064d}"}
+
+    def test_max_entries_zero_empties_the_store(self, tmp_path):
+        store = seed_store(tmp_path, ages=[1, 2])
+        assert store.prune(max_entries=0) == 2
+        assert len(store) == 0
+
+    def test_under_limit_is_untouched(self, tmp_path):
+        store = seed_store(tmp_path, ages=[1, 2])
+        assert store.prune(max_entries=10) == 0
+        assert len(store) == 2
+
+
+class TestPruneCombined:
+    def test_age_then_count(self, tmp_path):
+        # 5 entries; age bound kills 2, count bound trims survivors to 2
+        store = seed_store(tmp_path, ages=[10, 20, 30, 90000, 95000])
+        removed = store.prune(max_age=3600, max_entries=2, now=NOW)
+        assert removed == 3
+        assert {e["key"] for e in store.ls()} == {f"{0:064d}", f"{1:064d}"}
+
+    def test_no_bounds_is_a_noop(self, tmp_path):
+        store = seed_store(tmp_path, ages=[1])
+        assert store.prune() == 0
+        assert len(store) == 1
+
+
+class TestParseAge:
+    @pytest.mark.parametrize("text,expected", [
+        ("90", 90.0), ("90s", 90.0), ("30m", 1800.0),
+        ("12h", 43200.0), ("7d", 604800.0), ("1.5h", 5400.0),
+    ])
+    def test_forms(self, text, expected):
+        assert _parse_age(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "abc", "7w", "-5"])
+    def test_rejects_garbage(self, text):
+        with pytest.raises(ValueError):
+            _parse_age(text)
+
+
+class TestCli:
+    def test_store_prune_by_age(self, tmp_path, capsys):
+        seed_store(tmp_path, ages=[10, 90000], base_now=wallclock.now())
+        code = main(["store", "prune", "--store", str(tmp_path),
+                     "--max-age", "1h"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 entries" in out and "(1 remain)" in out
+
+    def test_store_prune_by_count(self, tmp_path, capsys):
+        seed_store(tmp_path, ages=[30, 20, 10])
+        assert main(["store", "prune", "--store", str(tmp_path),
+                     "--max-entries", "1"]) == 0
+        assert "pruned 2 entries" in capsys.readouterr().out
+
+    def test_prune_without_bounds_errors(self, tmp_path, capsys):
+        assert main(["store", "prune", "--store", str(tmp_path)]) == 2
+        assert "max-age" in capsys.readouterr().err

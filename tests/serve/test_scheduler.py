@@ -1,0 +1,284 @@
+"""Scheduler semantics: coalescing, priority, cancellation, failure.
+
+These are pure scheduling tests — the simulation function is a stub
+injected alongside a thread pool, so every test is fast and the
+counters are exact.  The integration tests in
+``test_server_integration.py`` run the same paths with real process
+workers and real simulations.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import List
+
+import pytest
+
+from repro.cache.l1d import L1DStats
+from repro.experiments.store import MemoryStore
+from repro.gpu.simulator import SimResult
+from repro.serve.protocol import cell_request, parse_job_request, sweep_request
+from repro.serve.scheduler import DrainingError, Scheduler
+
+
+def payload_for(cell) -> dict:
+    """A distinctive, valid serialized SimResult for one cell."""
+    return SimResult(
+        cycles=1000 + len(cell.abbr), thread_insns=10, warp_insns=5,
+        l1d=L1DStats(), interconnect={}, l2={}, dram={},
+        policy={"scheme": hash_free_tag(cell.scheme)},
+    ).to_dict()
+
+
+def hash_free_tag(scheme: str) -> float:
+    return float(len(scheme))
+
+
+class StubSim:
+    """Records every executed cell; optionally blocks until released."""
+
+    def __init__(self, gate: threading.Event = None, fail: bool = False):
+        self.calls: List[str] = []
+        self._lock = threading.Lock()
+        self.gate = gate
+        self.fail = fail
+
+    def __call__(self, cell):
+        if self.gate is not None:
+            assert self.gate.wait(timeout=30), "stub gate never released"
+        with self._lock:
+            self.calls.append(f"{cell.abbr}/{cell.scheme}")
+        if self.fail:
+            raise RuntimeError("injected simulation failure")
+        return payload_for(cell)
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=60))
+
+
+async def make_scheduler(workers=1, sim_fn=None, store=None):
+    scheduler = Scheduler(
+        store=store if store is not None else MemoryStore(),
+        workers=workers,
+        pool=ThreadPoolExecutor(max_workers=workers),
+        sim_fn=sim_fn if sim_fn is not None else StubSim(),
+    )
+    await scheduler.start()
+    return scheduler
+
+
+async def settle(job):
+    while not job.done:
+        await asyncio.sleep(0.005)
+    return job
+
+
+CELL = cell_request("MM", "baseline", sms=1, scale=0.1)
+
+
+class TestCoalescing:
+    def test_identical_concurrent_submissions_simulate_once(self):
+        async def body():
+            sim = StubSim()
+            scheduler = await make_scheduler(workers=2, sim_fn=sim)
+            try:
+                jobs = [
+                    scheduler.submit(parse_job_request(CELL))
+                    for _ in range(5)
+                ]
+                for job in jobs:
+                    await settle(job)
+                assert all(j.state == "done" for j in jobs)
+                payloads = [j.results[0]["result"] for j in jobs]
+                assert all(p == payloads[0] for p in payloads)
+                assert sim.calls == ["MM/baseline"]          # exactly once
+                assert scheduler.metrics.cells_requested == 5
+                assert scheduler.metrics.cells_coalesced == 4
+                assert scheduler.metrics.cells_simulated == 1
+            finally:
+                await scheduler.shutdown()
+        run(body())
+
+    def test_distinct_cells_are_not_coalesced(self):
+        async def body():
+            sim = StubSim()
+            scheduler = await make_scheduler(workers=2, sim_fn=sim)
+            try:
+                a = scheduler.submit(parse_job_request(CELL))
+                b = scheduler.submit(parse_job_request(
+                    cell_request("MM", "dlp", sms=1, scale=0.1)
+                ))
+                await settle(a)
+                await settle(b)
+                assert sorted(sim.calls) == ["MM/baseline", "MM/dlp"]
+                assert scheduler.metrics.cells_coalesced == 0
+            finally:
+                await scheduler.shutdown()
+        run(body())
+
+    def test_warm_store_serves_without_simulation(self):
+        async def body():
+            sim = StubSim()
+            store = MemoryStore()
+            scheduler = await make_scheduler(sim_fn=sim, store=store)
+            try:
+                first = await settle(scheduler.submit(parse_job_request(CELL)))
+                assert sim.calls == ["MM/baseline"]
+                second = await settle(
+                    scheduler.submit(parse_job_request(CELL))
+                )
+                assert sim.calls == ["MM/baseline"]          # still once
+                assert scheduler.metrics.cells_store_hits == 1
+                assert second.results == first.results
+            finally:
+                await scheduler.shutdown()
+        run(body())
+
+
+class TestPriority:
+    def test_interactive_cell_overtakes_queued_bulk_cells(self):
+        async def body():
+            gate = threading.Event()
+            sim = StubSim(gate=gate)
+            scheduler = await make_scheduler(workers=1, sim_fn=sim)
+            try:
+                bulk = scheduler.submit(parse_job_request(
+                    sweep_request(["MM", "HS"], ["baseline", "dlp"], sms=1)
+                ))
+                # let the single worker pick up the first bulk cell and
+                # leave the other three queued behind it
+                while scheduler.running_count() != 1:
+                    await asyncio.sleep(0.005)
+                interactive = scheduler.submit(parse_job_request(
+                    cell_request("KM", "dlp", sms=1)
+                ))
+                await asyncio.sleep(0.02)   # let it enqueue
+                gate.set()
+                await settle(interactive)
+                await settle(bulk)
+                # the interactive cell ran right after the in-flight
+                # bulk cell, ahead of the three still-queued ones
+                assert sim.calls[1] == "KM/dlp"
+                assert len(sim.calls) == 5
+            finally:
+                await scheduler.shutdown()
+        run(body())
+
+
+class TestFailure:
+    def test_failed_unit_reports_fingerprint(self):
+        async def body():
+            scheduler = await make_scheduler(sim_fn=StubSim(fail=True))
+            try:
+                job = await settle(scheduler.submit(parse_job_request(CELL)))
+                assert job.state == "failed"
+                assert "injected simulation failure" in job.error["error"]
+                fp = job.error["fingerprint"]
+                assert fp["abbr"] == "MM" and fp["scheme"] == "baseline"
+                assert job.error["key"] == job.request.units[0].key()
+                assert scheduler.metrics.jobs_failed == 1
+                assert scheduler.metrics.cells_failed == 1
+            finally:
+                await scheduler.shutdown()
+        run(body())
+
+    def test_failure_in_one_grid_cell_fails_the_job_with_that_cell(self):
+        async def body():
+            class FailOne(StubSim):
+                def __call__(self, cell):
+                    if cell.scheme == "dlp":
+                        raise RuntimeError("dlp exploded")
+                    return payload_for(cell)
+
+            scheduler = await make_scheduler(workers=2, sim_fn=FailOne())
+            try:
+                job = await settle(scheduler.submit(parse_job_request(
+                    sweep_request(["MM"], ["baseline", "dlp"], sms=1)
+                )))
+                assert job.state == "failed"
+                assert job.error["fingerprint"]["scheme"] == "dlp"
+            finally:
+                await scheduler.shutdown()
+        run(body())
+
+
+class TestCancellation:
+    def test_cancel_skips_queued_cells(self):
+        async def body():
+            gate = threading.Event()
+            sim = StubSim(gate=gate)
+            scheduler = await make_scheduler(workers=1, sim_fn=sim)
+            try:
+                job = scheduler.submit(parse_job_request(
+                    sweep_request(["MM", "HS"], ["baseline", "dlp"], sms=1)
+                ))
+                while scheduler.running_count() != 1:
+                    await asyncio.sleep(0.005)
+                assert scheduler.cancel(job.id) is True
+                await settle(job)
+                assert job.state == "cancelled"
+                gate.set()
+                # give the in-flight cell time to finish; the three
+                # queued cells must never execute
+                await asyncio.sleep(0.1)
+                assert len(sim.calls) == 1
+                assert scheduler.metrics.jobs_cancelled == 1
+            finally:
+                await scheduler.shutdown()
+        run(body())
+
+    def test_cancel_unknown_or_settled_job_is_false(self):
+        async def body():
+            scheduler = await make_scheduler()
+            try:
+                assert scheduler.cancel("job-999999") is False
+                job = await settle(scheduler.submit(parse_job_request(CELL)))
+                assert scheduler.cancel(job.id) is False
+            finally:
+                await scheduler.shutdown()
+        run(body())
+
+    def test_coalesced_peer_survives_sibling_cancellation(self):
+        async def body():
+            gate = threading.Event()
+            sim = StubSim(gate=gate)
+            scheduler = await make_scheduler(workers=1, sim_fn=sim)
+            try:
+                a = scheduler.submit(parse_job_request(CELL))
+                while scheduler.running_count() != 1:
+                    await asyncio.sleep(0.005)
+                b = scheduler.submit(parse_job_request(CELL))  # coalesces
+                await asyncio.sleep(0.02)
+                scheduler.cancel(a.id)
+                await settle(a)
+                gate.set()
+                await settle(b)
+                assert a.state == "cancelled"
+                assert b.state == "done"
+                assert sim.calls == ["MM/baseline"]
+            finally:
+                await scheduler.shutdown()
+        run(body())
+
+
+class TestDrain:
+    def test_drain_finishes_active_work_and_rejects_new(self):
+        async def body():
+            gate = threading.Event()
+            sim = StubSim(gate=gate)
+            scheduler = await make_scheduler(workers=1, sim_fn=sim)
+            job = scheduler.submit(parse_job_request(CELL))
+            while scheduler.running_count() != 1:
+                await asyncio.sleep(0.005)
+            drainer = asyncio.create_task(scheduler.drain(timeout=30))
+            await asyncio.sleep(0.02)
+            with pytest.raises(DrainingError):
+                scheduler.submit(parse_job_request(CELL))
+            assert scheduler.metrics.jobs_rejected == 1
+            gate.set()
+            assert await drainer is True
+            assert job.state == "done"
+        run(body())
