@@ -32,8 +32,10 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 #: Packages whose sources define simulation semantics for the purposes
-#: of the SIM_VERSION rule (ISSUE scope: the policy/cache protocol).
-SEMANTIC_PACKAGES = ("core", "cache")
+#: of the SIM_VERSION rule: the policy/cache protocol plus the packed
+#: fast engine, which re-implements that protocol and must change in
+#: lockstep with it.
+SEMANTIC_PACKAGES = ("core", "cache", "fastsim")
 
 MANIFEST_NAME = "semantics_manifest.json"
 

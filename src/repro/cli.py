@@ -101,6 +101,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="number of SMs (scaled machine; default 4)")
     p_run.add_argument("--scale", type=float, default=1.0,
                        help="workload input scale factor")
+    p_run.add_argument("--engine", default="reference",
+                       choices=["reference", "fast"],
+                       help="L1D implementation (bit-identical results; "
+                            "'fast' is the packed array engine)")
 
     p_cmp = sub.add_parser("compare", help="all five schemes on one app")
     p_cmp.add_argument("app")
@@ -136,6 +140,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--trace-dir", default=None, metavar="DIR",
                          help="with --replay: persist recorded traces here "
                               "(default: in-memory, this run only)")
+    p_sweep.add_argument("--engine", default="reference",
+                         choices=["reference", "fast"],
+                         help="L1D implementation for uncached cells "
+                              "(bit-identical results; store keys are "
+                              "engine-independent)")
 
     p_store = sub.add_parser("store", help="manage an on-disk result store")
     p_store.add_argument("action", choices=["ls", "clear", "prune"])
@@ -162,6 +171,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--trace-dir", default=None, metavar="DIR",
                          help="shared trace directory for replay jobs "
                               "(default: capture in-worker, no sharing)")
+    p_serve.add_argument("--engine", default="reference",
+                         choices=["reference", "fast"],
+                         help="L1D implementation the workers run "
+                              "(bit-identical results; store keys are "
+                              "engine-independent)")
     p_serve.add_argument("--drain-timeout", type=float, default=30.0,
                          metavar="SECONDS",
                          help="max wait for active jobs on SIGTERM "
@@ -222,9 +236,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     submit_sub.add_parser("health", help="service liveness/drain state")
 
-    p_prof = sub.add_parser("profile", help="reuse-distance analysis")
+    p_prof = sub.add_parser(
+        "profile",
+        help="reuse-distance analysis, or (--scheme) engine phase timing",
+    )
     p_prof.add_argument("app")
     p_prof.add_argument("--sms", type=int, default=4)
+    p_prof.add_argument("--scheme", default=None,
+                        choices=sorted(SCHEME_LABELS),
+                        help="profile the L1D engine under this scheme "
+                             "instead: per-phase reference timings "
+                             "(set query / victim select / policy hooks / "
+                             "sampling) plus the fast-engine comparison")
+    p_prof.add_argument("--scale", type=float, default=1.0,
+                        help="workload input scale factor (--scheme mode)")
 
     p_trace = sub.add_parser(
         "trace", help="record, inspect, replay and import memory traces"
@@ -256,6 +281,9 @@ def build_parser() -> argparse.ArgumentParser:
     t_rep.add_argument("--sms", type=int, default=None,
                        help="SM count for the replayed machine "
                             "(default: the trace's own)")
+    t_rep.add_argument("--engine", default="reference",
+                       choices=["reference", "fast"],
+                       help="replay engine (bit-identical results)")
     t_rep.add_argument("--verify", action="store_true",
                        help="re-run the functional path the trace was "
                             "recorded from and require identical counters")
@@ -298,7 +326,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def cmd_run(args) -> int:
     config = harness_config(args.sms)
-    result = run_workload(args.app.upper(), args.policy, config, scale=args.scale)
+    result = run_workload(args.app.upper(), args.policy, config,
+                          scale=args.scale, engine=args.engine)
     rows = [(k, f"{v:.4g}") for k, v in result.summary().items()]
     print(ascii_table(
         ["metric", "value"], rows,
@@ -358,7 +387,8 @@ def cmd_sweep(args) -> int:
         return _replay_sweep(args, apps, schemes)
     executor = SweepExecutor(store=open_store(args.store), jobs=args.jobs)
     results = executor.run_sweep(
-        apps, schemes, num_sms=args.sms, scale=args.scale, seed=args.seed
+        apps, schemes, num_sms=args.sms, scale=args.scale, seed=args.seed,
+        engine=args.engine,
     )
     rows = [
         (
@@ -391,7 +421,8 @@ def _replay_sweep(args, apps, schemes) -> int:
     from repro.trace.sweep import ReplaySweepExecutor
 
     executor = ReplaySweepExecutor(
-        store=open_store(args.store), trace_dir=args.trace_dir
+        store=open_store(args.store), trace_dir=args.trace_dir,
+        engine=args.engine,
     )
     results = executor.run_sweep(
         apps, schemes, num_sms=args.sms, scale=args.scale, seed=args.seed
@@ -488,6 +519,7 @@ def cmd_serve(args) -> int:
         workers=args.workers,
         store=args.store or default_store_dir(),
         trace_dir=args.trace_dir,
+        engine=args.engine,
         drain_timeout=args.drain_timeout,
     ))
 
@@ -612,9 +644,17 @@ def cmd_submit(args) -> int:
 
 
 def cmd_profile(args) -> int:
+    app = args.app.upper()
+    if args.scheme is not None:
+        from repro.fastsim.profile import profile_cell
+
+        profile = profile_cell(app, args.scheme, num_sms=args.sms,
+                               scale=args.scale)
+        print(profile.render())
+        return 0
+
     from repro.experiments.cachesim import profile_reuse
 
-    app = args.app.upper()
     config = harness_config(args.sms)
     profiler = profile_reuse(make_workload(app), config)
     print(stacked_percent_rows(
@@ -673,7 +713,8 @@ def cmd_trace(args) -> int:
             )
     reader = TraceReader(args.trace)
     config = harness_config(args.sms) if args.sms is not None else None
-    results = {s: replay_trace(reader, s, config) for s in schemes}
+    results = {s: replay_trace(reader, s, config, engine=args.engine)
+               for s in schemes}
     rows = [
         (
             SCHEME_LABELS[s],

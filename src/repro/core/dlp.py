@@ -76,8 +76,12 @@ class DlpPolicy(CachePolicy):
         super().attach(cache)
         self.vta = VictimTagArray(cache.geometry, self._vta_assoc)
         # Nasc is the VTA associativity (Section 4.2, footnote 2: set to
-        # the cache associativity in the paper's configuration).
-        self.nasc = self._nasc_override if self._nasc_override else self.vta.assoc
+        # the cache associativity in the paper's configuration).  An
+        # explicit 0 is a valid ablation value (freeze all PD updates),
+        # so only a missing override falls back to the VTA associativity.
+        self.nasc = (
+            self._nasc_override if self._nasc_override is not None else self.vta.assoc
+        )
         if self.pd_bits != PD_BITS:
             # Ablation PL widths: widen (or narrow) the per-line Protected
             # Life contract to match (no-op unless REPRO_CHECK is set).
@@ -85,7 +89,11 @@ class DlpPolicy(CachePolicy):
                 set_field_width(line, "protected_life", self.pd_bits)
 
     def reset(self) -> None:
-        self.pdpt = PredictionTable(pd_bits=self.pd_bits)
+        # In-place PDPT reset: the base-class contract says statistics
+        # survive reset(), and the sampler/VTA already honour it — the
+        # PDPT's lifetime activity markers (and any ablation contract
+        # widths installed on its entries) must survive too.
+        self.pdpt.reset()
         self.sampler.reset()
         if self.vta is not None:
             self.vta.reset()

@@ -59,7 +59,9 @@ class GlobalProtectionPolicy(CachePolicy):
     def attach(self, cache: "L1DCache") -> None:
         super().attach(cache)
         self.vta = VictimTagArray(cache.geometry, self._vta_assoc)
-        self.nasc = self._nasc_override if self._nasc_override else self.vta.assoc
+        self.nasc = (
+            self._nasc_override if self._nasc_override is not None else self.vta.assoc
+        )
         if self.pd_bits != PD_BITS:
             # Non-default PD width: the per-line PL field must hold it too
             # (no-op unless REPRO_CHECK is set).

@@ -146,6 +146,20 @@ class PredictionTable:
         self.global_tda_hits = 0
         self.global_vta_hits = 0
 
+    def reset(self) -> None:
+        """Between-kernel reset: learned state (hit counters *and* PDs)
+        is cleared in place.  The ``ever_used`` lifetime markers survive
+        ("stats survive" — the reset contract of
+        :meth:`repro.core.policy.CachePolicy.reset`), and reusing the
+        entry objects keeps any ablation contract widths installed on
+        them."""
+        for entry in self.entries:
+            entry.tda_hits = 0
+            entry.vta_hits = 0
+            entry.pd = 0
+        self.global_tda_hits = 0
+        self.global_vta_hits = 0
+
     def active_entries(self) -> Iterator[PdptEntry]:
         """Entries that saw any hit this sample (PD-increase path scope)."""
         for entry in self.entries:

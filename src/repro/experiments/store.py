@@ -42,7 +42,7 @@ from repro.utils import wallclock
 #: Bump on any change that alters simulation *semantics* (see module
 #: docstring); stale entries keyed under older stamps are simply never
 #: matched again and can be dropped with ``repro store clear``.
-SIM_VERSION = "1"
+SIM_VERSION = "2"
 
 #: Default on-disk location, overridable via the environment.
 STORE_ENV_VAR = "REPRO_STORE"

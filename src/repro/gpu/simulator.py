@@ -133,6 +133,7 @@ class GpuSimulator:
         config: GPUConfig,
         policy_factory: Callable[[], CachePolicy],
         max_cycles: Optional[int] = None,
+        engine: str = "reference",
     ):
         self.kernels: List[Kernel] = as_kernel_list(kernels)
         if not self.kernels:
@@ -167,6 +168,7 @@ class GpuSimulator:
                 self.schedule,
                 self._make_send(sm_id),
                 self._on_cta_done,
+                engine=engine,
             )
             for sm_id in range(config.num_sms)
         ]

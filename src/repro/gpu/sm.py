@@ -15,8 +15,9 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
-from repro.cache.l1d import FetchRequest, L1DCache
+from repro.cache.l1d import FetchRequest
 from repro.core.policy import CachePolicy
+from repro.fastsim import make_l1d
 from repro.gpu.coalescer import coalesce
 from repro.gpu.config import GPUConfig
 from repro.gpu.isa import ComputeOp, MemOp
@@ -48,13 +49,14 @@ class StreamingMultiprocessor:
         schedule: Callable[[int, Callable[[], None]], None],
         send_fetch: Callable[[FetchRequest], None],
         on_cta_done: Callable[["StreamingMultiprocessor"], None],
+        engine: str = "reference",
     ):
         self.sm_id = sm_id
         self.config = config
-        self.policy = policy
         self.schedule = schedule
         self.on_cta_done = on_cta_done
-        self.l1d = L1DCache(
+        self.l1d = make_l1d(
+            engine,
             config.l1d.geometry(),
             policy,
             send_fn=send_fetch,
@@ -63,6 +65,9 @@ class StreamingMultiprocessor:
             miss_queue_depth=config.l1d.miss_queue_depth,
             sm_id=sm_id,
         )
+        # The policy-side surface the simulator talks to: the policy
+        # instance itself (reference) or the packed-state facade (fast).
+        self.policy = self.l1d.policy
         self.schedulers = [
             make_scheduler(config.scheduler, i) for i in range(config.schedulers_per_sm)
         ]

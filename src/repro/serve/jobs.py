@@ -110,6 +110,7 @@ def replay_unit(spec: Dict[str, Any],
     scale = spec["scale"]
     seed = spec["seed"]
     kwargs = dict(spec["policy_kwargs"])
+    engine = spec.get("engine", "reference")
     config = GPUConfig().scaled(spec["num_sms"])
 
     if trace_dir:
@@ -129,9 +130,11 @@ def replay_unit(spec: Dict[str, Any],
                 except OSError:
                     pass
                 raise
-        result = replay_trace(TraceReader(path), scheme, config, **kwargs)
+        result = replay_trace(TraceReader(path), scheme, config,
+                              engine=engine, **kwargs)
     else:
         records = capture_records(make_workload(abbr, scale, seed=seed),
                                   config)
-        result = replay_records(iter(records), config, scheme, **kwargs)
+        result = replay_records(iter(records), config, scheme,
+                                engine=engine, **kwargs)
     return result.to_dict()

@@ -68,8 +68,12 @@ class UnitSpec:
     max_cycles: Optional[int] = None
     policy_kwargs: Tuple[Tuple[str, Any], ...] = ()
 
-    def cell(self) -> Cell:
-        """The executor-level cell (timing-simulation units only)."""
+    def cell(self, engine: str = "reference") -> Cell:
+        """The executor-level cell (timing-simulation units only).
+
+        ``engine`` is the scheduler's deployment-wide L1D engine choice;
+        it never enters the cell's key (the engines are bit-identical).
+        """
         return Cell.make(
             self.abbr,
             self.scheme,
@@ -77,6 +81,7 @@ class UnitSpec:
             scale=self.scale,
             seed=self.seed,
             max_cycles=self.max_cycles,
+            engine=engine,
             **dict(self.policy_kwargs),
         )
 

@@ -94,6 +94,11 @@ class Scheduler:
         Worker processes — also the number of concurrent executions.
     trace_dir:
         Shared trace directory for replay units (record-once).
+    engine:
+        L1D implementation the workers run (``reference`` or ``fast``).
+        A deployment-wide choice, never part of a unit's content address
+        — the engines are bit-identical, so cells computed by either
+        resolve (and warm) the same store entries.
     pool / sim_fn / replay_fn:
         Injection points for tests: a ``ThreadPoolExecutor`` plus stub
         work functions turn scheduling tests into fast, deterministic
@@ -101,11 +106,13 @@ class Scheduler:
     """
 
     def __init__(self, store=None, workers: int = 2, trace_dir=None,
-                 metrics: Optional[ServeMetrics] = None, pool=None,
+                 metrics: Optional[ServeMetrics] = None,
+                 engine: str = "reference", pool=None,
                  sim_fn=simulate_cell, replay_fn=replay_unit) -> None:
         self.store = store if store is not None else MemoryStore()
         self.workers = max(1, int(workers))
         self.trace_dir = str(trace_dir) if trace_dir is not None else None
+        self.engine = engine
         self.metrics = metrics if metrics is not None else ServeMetrics()
         self._sim_fn = sim_fn
         self._replay_fn = replay_fn
@@ -299,13 +306,15 @@ class Scheduler:
         t0 = wallclock.monotonic()
         try:
             if spec.mode == MODE_REPLAY:
+                worker_payload = dict(spec.worker_payload())
+                worker_payload["engine"] = self.engine
                 payload = await loop.run_in_executor(
                     self._pool, self._replay_fn,
-                    spec.worker_payload(), self.trace_dir,
+                    worker_payload, self.trace_dir,
                 )
             else:
                 payload = await loop.run_in_executor(
-                    self._pool, self._sim_fn, spec.cell()
+                    self._pool, self._sim_fn, spec.cell(self.engine)
                 )
         except asyncio.CancelledError:
             raise

@@ -196,6 +196,7 @@ async def serve_async(
     workers: int = 2,
     store=None,
     trace_dir=None,
+    engine: str = "reference",
     drain_timeout: Optional[float] = None,
     ready: Optional["threading.Event"] = None,
     stop_event: Optional[asyncio.Event] = None,
@@ -205,16 +206,17 @@ async def serve_async(
     """Run the service until SIGTERM/SIGINT, then drain and exit.
 
     ``store`` is anything :func:`repro.experiments.store.open_store`
-    accepts — or an already-open store object.  Returns the process
-    exit code (0 = drained clean, 1 = drain timed out and remaining
-    jobs were cancelled).
+    accepts — or an already-open store object.  ``engine`` picks the
+    workers' L1D implementation (results are engine-independent).
+    Returns the process exit code (0 = drained clean, 1 = drain timed
+    out and remaining jobs were cancelled).
     """
     from repro.experiments.store import open_store
 
     if scheduler is None:
         opened = store if hasattr(store, "get") else open_store(store)
         scheduler = Scheduler(store=opened, workers=workers,
-                              trace_dir=trace_dir)
+                              trace_dir=trace_dir, engine=engine)
     await scheduler.start()
     app = ServeApp(scheduler)
     server = await asyncio.start_server(app.handle, host=host, port=port)

@@ -204,21 +204,37 @@ def _resolve(scheme: Union[str, CachePolicy, None], config: GPUConfig,
     return config, (lambda: make_policy(name, **policy_kwargs))
 
 
+def _make_engine(engine: str, config: GPUConfig, factory) -> "ReplayEngine":
+    """Build the selected replay engine (both share run()/result())."""
+    if engine == "fast":
+        # Imported lazily: repro.fastsim.replay imports this module.
+        from repro.fastsim.replay import FastReplayEngine
+
+        return FastReplayEngine(config, factory)  # type: ignore[return-value]
+    if engine != "reference":
+        raise ValueError(
+            f"unknown engine {engine!r}; expected 'reference' or 'fast'"
+        )
+    return ReplayEngine(config, factory)
+
+
 def replay_records(
     records: Iterable[TraceRecord],
     config: GPUConfig,
     scheme: Union[str, object] = "baseline",
+    engine: str = "reference",
     **policy_kwargs,
 ) -> SimResult:
     """Replay an in-memory record stream through one scheme."""
     config, factory = _resolve(scheme, config, **policy_kwargs)
-    return ReplayEngine(config, factory).run(records)
+    return _make_engine(engine, config, factory).run(records)
 
 
 def replay_trace(
     trace: Union[TraceReader, str],
     scheme: Union[str, object] = "baseline",
     config: Optional[GPUConfig] = None,
+    engine: str = "reference",
     **policy_kwargs,
 ) -> SimResult:
     """Replay a recorded trace file through one scheme.
@@ -241,9 +257,9 @@ def replay_trace(
             f"config uses {config.l1d.line_size} B"
         )
     config, factory = _resolve(scheme, config, **policy_kwargs)
-    engine = ReplayEngine(config, factory)
-    result = engine.run(iter(reader))
-    replayed = engine.replayed_per_sm[: reader.num_sms]
+    replay_engine = _make_engine(engine, config, factory)
+    result = replay_engine.run(iter(reader))
+    replayed = replay_engine.replayed_per_sm[: reader.num_sms]
     if replayed != reader.records_per_sm:
         bad = [
             f"SM{sm}: header says {want}, replayed {got}"
@@ -262,6 +278,7 @@ def replay_workload(
     workload: Workload,
     config: Optional[GPUConfig] = None,
     scheme: Union[str, object] = "baseline",
+    engine: str = "reference",
     **policy_kwargs,
 ) -> SimResult:
     """The functional path: drive a scheme from the live access stream
@@ -270,5 +287,6 @@ def replay_workload(
 
     config = config or GPUConfig()
     return replay_records(
-        stream_records(workload, config), config, scheme, **policy_kwargs
+        stream_records(workload, config), config, scheme, engine=engine,
+        **policy_kwargs
     )

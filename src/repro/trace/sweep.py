@@ -101,14 +101,21 @@ class ReplaySweepExecutor:
         private in-memory record list (no file layer); point at a
         directory to persist traces in the binary format and share them
         across invocations and with the ``repro trace`` verbs.
+    engine:
+        L1D implementation used for replays (``reference`` or ``fast``).
+        The engines are bit-identical, so the choice never enters trace
+        keys or replay-result store keys — results computed by either
+        resolve the same entries.
     """
 
     def __init__(self, store=None, trace_dir=None,
-                 config: Optional[GPUConfig] = None) -> None:
+                 config: Optional[GPUConfig] = None,
+                 engine: str = "reference") -> None:
         self.store = store if store is not None else MemoryStore()
         self.traces = TraceStore(trace_dir) if trace_dir is not None else None
         self._memory_traces: Dict[str, List] = {}
         self.config = config
+        self.engine = engine
         self.stats = ReplaySweepStats()
 
     # ------------------------------------------------------------------
@@ -164,12 +171,13 @@ class ReplaySweepExecutor:
             return cached
         source = self._get_or_record(abbr, config, scale, seed)
         if isinstance(source, TraceReader):
-            result = replay_trace(source, scheme, config, **policy_kwargs)
+            result = replay_trace(source, scheme, config,
+                                  engine=self.engine, **policy_kwargs)
         else:
             from repro.trace.replay import replay_records
 
             result = replay_records(iter(source), config, scheme,
-                                    **policy_kwargs)
+                                    engine=self.engine, **policy_kwargs)
         self.stats.replayed += 1
         self.store.put(
             key, result,

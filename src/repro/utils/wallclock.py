@@ -29,3 +29,9 @@ def now() -> float:
 def monotonic() -> float:
     """Monotonic seconds (for latency/duration measurement)."""
     return time.monotonic()  # repro-check: allow(R001)
+
+
+def perf() -> float:
+    """High-resolution monotonic seconds (for phase profiling —
+    ``repro profile --scheme`` timing the engine hot path)."""
+    return time.perf_counter()  # repro-check: allow(R001)

@@ -1,0 +1,163 @@
+"""Shared driver for the engine-differential tests.
+
+:func:`drive_stream` pushes one deterministic access stream through an
+L1D built by either engine (``reference`` or ``fast``) using the exact
+protocol loop of the golden-trace harness — bounded misses in flight,
+in-place stall retries, periodic instruction notifications — and
+returns a full counter snapshot.  Two engines are equivalent iff their
+snapshots match bit for bit on every stream and every ablation knob.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.cache.l1d import AccessOutcome, MemAccess
+from repro.cache.tagarray import CacheGeometry
+from repro.core import make_policy
+from repro.fastsim import make_l1d
+from repro.utils.hashing import hash_pc
+from repro.utils.rng import DeterministicRng
+
+Stream = Iterable[Tuple[int, int, bool]]
+
+#: Static PCs of the synthetic kernels, one per access class.
+PC_HOT, PC_STREAM, PC_MEDIUM, PC_WRITE = 0x100, 0x200, 0x300, 0x400
+
+SMALL_GEOMETRY = CacheGeometry(
+    num_sets=8, assoc=2, line_size=128, index_fn="linear"
+)
+
+
+def golden_stream():
+    """The golden-trace stream (tests/golden): hot + stream + zipf +
+    writes, 600 accesses, identical every run."""
+    rng = DeterministicRng("golden-trace")
+    hot = [0x1000 + i for i in range(6)]
+    medium_pool = [0x2000 + i for i in range(24)]
+    stream_next = 0x8000
+    accesses = []
+    for _step in range(600):
+        roll = float(rng.random())
+        if roll < 0.45:
+            block = hot[int(rng.integers(0, len(hot)))]
+            accesses.append((block, PC_HOT, False))
+        elif roll < 0.75:
+            accesses.append((stream_next, PC_STREAM, False))
+            stream_next += 1
+        elif roll < 0.93:
+            idx = int(rng.zipf_indices(len(medium_pool), 1)[0])
+            accesses.append((medium_pool[idx], PC_MEDIUM, False))
+        else:
+            block = medium_pool[int(rng.integers(0, len(medium_pool)))]
+            accesses.append((block, PC_WRITE, True))
+    return accesses
+
+
+def fuzz_stream(seed: int, length: int = 800):
+    """A random mixed-locality stream, deterministic per seed."""
+    rng = DeterministicRng(f"fastsim-fuzz-{seed}")
+    pcs = [0x500 + 0x10 * i for i in range(6)]
+    hot = [0x4000 + i for i in range(10)]
+    accesses = []
+    for _step in range(length):
+        roll = float(rng.random())
+        pc = pcs[int(rng.integers(0, len(pcs)))]
+        if roll < 0.35:
+            block = hot[int(rng.integers(0, len(hot)))]
+        else:
+            block = 0x9000 + int(rng.integers(0, 4096))
+        accesses.append((block, pc, bool(float(rng.random()) < 0.12)))
+    return accesses
+
+
+def thrash_stream(length: int = 600, working_set: int = 24):
+    """Cyclic reuse over a working set larger than the 16-line cache:
+    every line is evicted before its reuse, so VTA hits dominate TDA
+    hits and protection distances grow (the Figure 9 increase path)."""
+    return [(0x6000 + (i % working_set), 0x700, False)
+            for i in range(length)]
+
+
+def drive_stream(
+    policy_name: str,
+    engine: str,
+    stream: Optional[Stream] = None,
+    geometry: Optional[CacheGeometry] = None,
+    resets_at: Tuple[int, ...] = (),
+    **policy_kwargs,
+) -> Dict:
+    """Run one stream through one (policy, engine) pair; return the
+    snapshot.  ``resets_at`` lists access indices before which
+    ``policy.reset()`` fires (the between-kernel path)."""
+    policy = make_policy(policy_name, **policy_kwargs)
+    cache = make_l1d(
+        engine,
+        geometry or SMALL_GEOMETRY,
+        policy,
+        mshr_entries=8,
+        mshr_merge=4,
+        miss_queue_depth=8,
+    )
+    outstanding: deque = deque()
+
+    def fill_oldest() -> bool:
+        if not outstanding:
+            return False
+        cache.fill(outstanding.popleft(), now=0)
+        return True
+
+    accesses = list(stream if stream is not None else golden_stream())
+    for step, (block, pc, is_write) in enumerate(accesses):
+        if step in resets_at:
+            while fill_oldest():
+                pass
+            cache.drain_miss_queue(8)
+            cache.policy.reset()
+        access = MemAccess(
+            block_addr=block, pc=pc, insn_id=hash_pc(pc),
+            is_write=is_write, now=step,
+        )
+        result = cache.access(access)
+        retries = 0
+        while result.is_stall:
+            if fill_oldest():
+                cache.drain_miss_queue(8)
+            else:
+                # nothing to fill: a NO_RESERVABLE_LINE stall that only
+                # converges through per-retry PL decay (bounded by the
+                # PL width; 4096 turns a model bug into a loud error)
+                retries += 1
+                if retries > 4096:
+                    raise RuntimeError(f"non-converging stall: {access}")
+            result = cache.access(access)
+        if result.outcome is AccessOutcome.MISS:
+            outstanding.append(block)
+        cache.drain_miss_queue(2)
+        while len(outstanding) > 4:
+            fill_oldest()
+        if step % 8 == 7:
+            cache.policy.notify_instructions(64)
+    while fill_oldest():
+        pass
+    cache.drain_miss_queue(8)
+    return snapshot(cache, policy_name)
+
+
+def snapshot(cache, policy_name: str) -> Dict:
+    """Full engine-visible state: L1D raw counters, policy stats, PDs."""
+    if policy_name == "dlp":
+        final_pds = {
+            str(insn_id): entry["pd"]
+            for insn_id, entry in sorted(cache.policy.pd_snapshot().items())
+        }
+    elif policy_name == "global_protection":
+        final_pds = {"global": cache.policy.global_pd}
+    else:
+        final_pds = {}
+    return {
+        "l1d": cache.stats.to_raw_dict(),
+        "policy": {k: v for k, v in sorted(cache.policy.stats().items())},
+        "final_pds": final_pds,
+    }
