@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.cache.line import CacheLine, LineState
-from repro.cache.mshr import MissQueue, MshrTable
+from repro.cache.mshr import WORD_BYTES, MissQueue, MshrTable
 from repro.cache.tagarray import CacheGeometry, TagArray
 from repro.core.policy import CachePolicy, StallReason
 
@@ -200,6 +200,14 @@ class L1DCache:
         this to the crossbar; the functional path wires it to a counter.
     mshr_entries / mshr_merge / miss_queue_depth:
         Resource limits that produce the Section 2 stall conditions.
+    non_blocking:
+        Off (default) keeps the blocking-retry model above byte-for-byte.
+        On, the MSHR merges at word granularity (synapse32-style CAM): a
+        secondary miss whose word is already pending coalesces without
+        consuming a merge slot, and ``mshr_merge`` bounds *distinct*
+        words per entry instead of waiters — hit-under-miss and
+        miss-under-miss then come from the LD/ST unit issuing past a
+        stalled request while misses stay outstanding.
     """
 
     def __init__(
@@ -211,11 +219,19 @@ class L1DCache:
         mshr_merge: int = 8,
         miss_queue_depth: int = 8,
         sm_id: int = 0,
+        non_blocking: bool = False,
     ):
         self.geometry = geometry
         self.tags = TagArray(geometry)
         self.policy = policy
-        self.mshr = MshrTable(mshr_entries, mshr_merge)
+        self.non_blocking = non_blocking
+        self.words_per_line = max(1, geometry.line_size // WORD_BYTES)
+        self.mshr = MshrTable(
+            mshr_entries,
+            mshr_merge,
+            word_granular=non_blocking,
+            words_per_line=self.words_per_line,
+        )
         self.miss_queue = MissQueue(miss_queue_depth)
         self.send_fn = send_fn or (lambda req: None)
         self.sm_id = sm_id
@@ -267,7 +283,12 @@ class L1DCache:
             raise RuntimeError(
                 f"reserved line {access.block_addr:#x} without MSHR entry"
             )
-        if entry.num_requests >= self.mshr.max_merged:
+        word = self._word_of(access) if self.non_blocking else None
+        if self.non_blocking:
+            merge_full = not self.mshr.can_merge(access.block_addr, word)
+        else:
+            merge_full = entry.num_requests >= self.mshr.max_merged
+        if merge_full:
             if self.policy.bypass_on_stall(StallReason.MERGE_FULL, access):
                 return self._do_bypass(cache_set, access, count_query=True)
             self.stats.record_stall(StallReason.MERGE_FULL)
@@ -275,7 +296,7 @@ class L1DCache:
         self._query(cache_set, access)
         self.stats.loads += 1
         self.stats.hit_reserved += 1
-        self.mshr.merge(access.block_addr, access.waiter)
+        self.mshr.merge(access.block_addr, access.waiter, word=word)
         self.policy.on_hit(line, access, reserved=True)
         self._done(access, AccessOutcome.HIT_RESERVED)
         return AccessResult(AccessOutcome.HIT_RESERVED)
@@ -326,7 +347,10 @@ class L1DCache:
         )
         self.policy.on_allocate(victim, access)
 
-        self.mshr.allocate(access.block_addr, access.insn_id, access.now, access.waiter)
+        self.mshr.allocate(
+            access.block_addr, access.insn_id, access.now, access.waiter,
+            word=self._word_of(access) if self.non_blocking else None,
+        )
         fetch = FetchRequest(
             block_addr=access.block_addr,
             insn_id=access.insn_id,
@@ -452,6 +476,17 @@ class L1DCache:
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
+
+    def _word_of(self, access: MemAccess) -> int:
+        """Pending-word index of a request within its line.
+
+        Traces are line-granular (no byte offsets survive coalescing), so
+        the issuing warp's lane position stands in for the word the
+        request targets — a deterministic modeling proxy that makes
+        same-warp re-references coalesce for free while distinct warps
+        claim distinct words, matching the CAM design's intent.
+        """
+        return access.warp_id % self.words_per_line
 
     def _query(self, cache_set, access: MemAccess) -> None:
         cache_set.queries += 1

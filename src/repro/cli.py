@@ -18,6 +18,8 @@ submit     drive a running service: submit cell/sweep/replay jobs,
 profile    reuse-distance analysis of one application (Fig. 3/7 style)
 trace      record, inspect, replay and import memory traces
 check      determinism linter + hardware-contract static checks (CI gate)
+fuzz       differential fuzzer: seeded adversarial streams through both
+           L1D engines across the scheme x MSHR-mode grid (CI gate)
 list       the Table 2 application registry
 
 Examples
@@ -43,6 +45,7 @@ Examples
     python -m repro trace import foreign.csv foreign.rptr
     python -m repro check
     python -m repro check --json src/repro/core
+    python -m repro fuzz --streams 200 --length 400
     python -m repro list
 """
 
@@ -105,6 +108,9 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["reference", "fast"],
                        help="L1D implementation (bit-identical results; "
                             "'fast' is the packed array engine)")
+    p_run.add_argument("--non-blocking", action="store_true",
+                       help="non-blocking L1D (hit-under-miss, word-"
+                            "granular MSHR merging); enters store keys")
 
     p_cmp = sub.add_parser("compare", help="all five schemes on one app")
     p_cmp.add_argument("app")
@@ -145,6 +151,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="L1D implementation for uncached cells "
                               "(bit-identical results; store keys are "
                               "engine-independent)")
+    p_sweep.add_argument("--non-blocking", action="store_true",
+                         help="non-blocking L1D for every cell "
+                              "(semantic switch: enters store keys)")
 
     p_store = sub.add_parser("store", help="manage an on-disk result store")
     p_store.add_argument("action", choices=["ls", "clear", "prune"])
@@ -222,6 +231,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "for single cells, bulk for grids)")
         p.add_argument("--wait", action="store_true",
                        help="poll until the job settles and print results")
+        p.add_argument("--non-blocking", action="store_true",
+                       help="non-blocking L1D (semantic switch: enters "
+                            "store keys)")
 
     s_status = submit_sub.add_parser("status", help="poll one job")
     s_status.add_argument("job_id")
@@ -284,6 +296,10 @@ def build_parser() -> argparse.ArgumentParser:
     t_rep.add_argument("--engine", default="reference",
                        choices=["reference", "fast"],
                        help="replay engine (bit-identical results)")
+    t_rep.add_argument("--non-blocking", action="store_true",
+                       help="replay against the non-blocking L1D "
+                            "(windowed fills; RESERVED lines survive "
+                            "between accesses)")
     t_rep.add_argument("--verify", action="store_true",
                        help="re-run the functional path the trace was "
                             "recorded from and require identical counters")
@@ -320,12 +336,40 @@ def build_parser() -> argparse.ArgumentParser:
                          help="regenerate the R005 semantics manifest "
                               "(after bumping SIM_VERSION)")
 
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzz: adversarial streams through both L1D "
+             "engines across the scheme x MSHR-mode grid",
+    )
+    p_fuzz.add_argument("--streams", type=int, default=20,
+                        help="seeded streams to generate (default 20)")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="base seed; stream i uses seed+i (default 0)")
+    p_fuzz.add_argument("--length", type=int, default=None,
+                        help="truncate each stream to this many records")
+    p_fuzz.add_argument("--sms", type=int, default=2,
+                        help="SMs in the fuzz machine (default 2)")
+    p_fuzz.add_argument("--scale", type=float, default=1.0,
+                        help="generator input scale factor")
+    p_fuzz.add_argument("--generators", default=None,
+                        help="comma list of generators "
+                             "(default ATH,APC,APH,ABS)")
+    p_fuzz.add_argument("--policies", default=None,
+                        help="comma list of schemes (default all four)")
+    p_fuzz.add_argument("--no-shrink", action="store_true",
+                        help="report divergences without minimizing the "
+                             "failing prefix")
+    p_fuzz.add_argument("--json", action="store_true", dest="json_output",
+                        help="machine-readable report on stdout")
+
     sub.add_parser("list", help="list the Table 2 applications")
     return parser
 
 
 def cmd_run(args) -> int:
     config = harness_config(args.sms)
+    if args.non_blocking:
+        config = config.with_l1d(non_blocking=True)
     result = run_workload(args.app.upper(), args.policy, config,
                           scale=args.scale, engine=args.engine)
     rows = [(k, f"{v:.4g}") for k, v in result.summary().items()]
@@ -373,6 +417,17 @@ def cmd_figure(args) -> int:
     return 0
 
 
+def _cli_config(args):
+    """Explicit sweep config, or ``None`` for the default harness machine.
+
+    Returning ``None`` in the blocking case keeps the executors on their
+    default :func:`Cell.resolved_config` path, so blocking-mode store
+    keys stay byte-identical to every earlier release."""
+    if not getattr(args, "non_blocking", False):
+        return None
+    return harness_config(args.sms).with_l1d(non_blocking=True)
+
+
 def cmd_sweep(args) -> int:
     apps = ALL_APPS if args.apps == "all" else [
         a.strip().upper() for a in args.apps.split(",") if a.strip()
@@ -388,7 +443,7 @@ def cmd_sweep(args) -> int:
     executor = SweepExecutor(store=open_store(args.store), jobs=args.jobs)
     results = executor.run_sweep(
         apps, schemes, num_sms=args.sms, scale=args.scale, seed=args.seed,
-        engine=args.engine,
+        engine=args.engine, config=_cli_config(args),
     )
     rows = [
         (
@@ -422,7 +477,7 @@ def _replay_sweep(args, apps, schemes) -> int:
 
     executor = ReplaySweepExecutor(
         store=open_store(args.store), trace_dir=args.trace_dir,
-        engine=args.engine,
+        config=_cli_config(args), engine=args.engine,
     )
     results = executor.run_sweep(
         apps, schemes, num_sms=args.sms, scale=args.scale, seed=args.seed
@@ -608,20 +663,21 @@ def cmd_submit(args) -> int:
         body = cell_request(args.app.upper(), args.scheme, sms=args.sms,
                             scale=args.scale, seed=args.seed,
                             max_cycles=args.max_cycles,
-                            priority=args.priority)
+                            priority=args.priority,
+                            non_blocking=args.non_blocking)
     elif cmd == "sweep":
         body = sweep_request(
             [a.strip() for a in args.apps.split(",") if a.strip()],
             [s.strip() for s in args.schemes.split(",") if s.strip()],
             sms=args.sms, scale=args.scale, seed=args.seed,
-            priority=args.priority,
+            priority=args.priority, non_blocking=args.non_blocking,
         )
     else:  # replay
         body = replay_request(
             [a.strip() for a in args.apps.split(",") if a.strip()],
             [s.strip() for s in args.schemes.split(",") if s.strip()],
             sms=args.sms, scale=args.scale, seed=args.seed,
-            priority=args.priority,
+            priority=args.priority, non_blocking=args.non_blocking,
         )
     job = client.submit(body)
     print(f"submitted {job['id']} ({job['kind']}, {job['units']} units, "
@@ -713,6 +769,9 @@ def cmd_trace(args) -> int:
             )
     reader = TraceReader(args.trace)
     config = harness_config(args.sms) if args.sms is not None else None
+    if args.non_blocking:
+        config = (config or harness_config(reader.num_sms)) \
+            .with_l1d(non_blocking=True)
     results = {s: replay_trace(reader, s, config, engine=args.engine)
                for s in schemes}
     rows = [
@@ -768,6 +827,77 @@ def cmd_check(args) -> int:
     )
 
 
+def cmd_fuzz(args) -> int:
+    from repro.experiments.fuzz import (
+        ADVERSARIAL_APPS,
+        FUZZ_SCHEMES,
+        run_fuzz,
+    )
+
+    generators = (
+        [g.strip().upper() for g in args.generators.split(",") if g.strip()]
+        if args.generators else list(ADVERSARIAL_APPS)
+    )
+    for gen in generators:
+        if gen not in ADVERSARIAL_APPS:
+            raise ValueError(
+                f"unknown generator {gen!r}; "
+                f"expected one of {list(ADVERSARIAL_APPS)}"
+            )
+    schemes = (
+        [s.strip() for s in args.policies.split(",") if s.strip()]
+        if args.policies else list(FUZZ_SCHEMES)
+    )
+    for scheme in schemes:
+        if scheme not in SCHEME_LABELS:
+            raise ValueError(
+                f"unknown scheme {scheme!r}; "
+                f"expected one of {sorted(SCHEME_LABELS)}"
+            )
+    report = run_fuzz(
+        streams=args.streams,
+        base_seed=args.seed,
+        generators=generators,
+        schemes=schemes,
+        scale=args.scale,
+        num_sms=args.sms,
+        length=args.length,
+        shrink=not args.no_shrink,
+    )
+    if args.json_output:
+        import json as _json
+
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0 if report.ok else 1
+    print(
+        f"fuzz: {report.cases} streams ({report.records} records), "
+        f"{report.checks} grid points x 2 engines"
+    )
+    if report.ok:
+        print("fuzz: reference and fast engines bit-identical everywhere")
+        return 0
+    rows = [
+        (
+            d.case.generator,
+            str(d.case.seed),
+            d.scheme,
+            "non-blocking" if d.non_blocking else "blocking",
+            f"{d.prefix}/{d.records}",
+            d.ref_fingerprint[:12],
+            d.fast_fingerprint[:12],
+        )
+        for d in report.divergences
+    ]
+    print(ascii_table(
+        ["Generator", "Seed", "Scheme", "MSHR mode", "Prefix", "ref", "fast"],
+        rows,
+        title=f"{len(report.divergences)} divergence(s)",
+    ))
+    for d in report.divergences:
+        print("repro:", d.to_dict()["repro"], file=sys.stderr)
+    return 1
+
+
 def cmd_list(_args) -> int:
     print(ascii_table(
         ["Application", "Abbr.", "Suite", "Type", "Paper input", "Scaled input"],
@@ -788,6 +918,7 @@ _COMMANDS = {
     "profile": cmd_profile,
     "trace": cmd_trace,
     "check": cmd_check,
+    "fuzz": cmd_fuzz,
     "list": cmd_list,
 }
 

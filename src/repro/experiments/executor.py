@@ -255,13 +255,19 @@ class SweepExecutor:
         scale: float = 1.0,
         seed: int = 0,
         engine: str = "reference",
+        config: Optional[GPUConfig] = None,
         **policy_kwargs,
     ) -> Dict[str, Dict[str, SimResult]]:
-        """The full app x scheme matrix as ``{app: {scheme: result}}``."""
+        """The full app x scheme matrix as ``{app: {scheme: result}}``.
+
+        ``config`` overrides the default scaled harness machine for every
+        cell (e.g. a non-blocking L1D variant); it enters each cell's
+        store key via :meth:`Cell.resolved_config`.
+        """
         apps = [a.upper() for a in apps]
         grid = [
             Cell.make(app, scheme, num_sms=num_sms, scale=scale, seed=seed,
-                      engine=engine, **policy_kwargs)
+                      config=config, engine=engine, **policy_kwargs)
             for app in apps
             for scheme in schemes
         ]

@@ -68,7 +68,15 @@ def cell_fingerprint(
     policy_kwargs: Optional[Mapping[str, Any]] = None,
     sim_version: str = SIM_VERSION,
 ) -> Dict[str, Any]:
-    """The full identity of one experiment cell, as plain JSON data."""
+    """The full identity of one experiment cell, as plain JSON data.
+
+    ``non_blocking`` is part of the cache *semantics* (unlike the engine
+    choice), so it stays in the fingerprint when enabled; when off it is
+    dropped so every pre-existing blocking-mode key is preserved.
+    """
+    config_dict = dataclasses.asdict(config)
+    if not config_dict["l1d"].get("non_blocking"):
+        config_dict["l1d"].pop("non_blocking", None)
     return {
         "abbr": abbr.upper(),
         "scheme": scheme,
@@ -76,7 +84,7 @@ def cell_fingerprint(
         "seed": seed,
         "max_cycles": max_cycles,
         "policy_kwargs": dict(policy_kwargs or {}),
-        "config": dataclasses.asdict(config),
+        "config": config_dict,
         "sim_version": sim_version,
     }
 

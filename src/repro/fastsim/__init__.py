@@ -52,6 +52,7 @@ def make_l1d(
     mshr_merge: int = 8,
     miss_queue_depth: int = 8,
     sm_id: int = 0,
+    non_blocking: bool = False,
 ):
     """Build the selected engine's L1D; both share one protocol surface."""
     cls = L1DCache if validate_engine(engine) == "reference" else FastL1DCache
@@ -63,6 +64,7 @@ def make_l1d(
         mshr_merge=mshr_merge,
         miss_queue_depth=miss_queue_depth,
         sm_id=sm_id,
+        non_blocking=non_blocking,
     )
 
 

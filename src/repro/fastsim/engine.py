@@ -41,7 +41,7 @@ from repro.cache.l1d import (
     L1DStats,
     MemAccess,
 )
-from repro.cache.mshr import MissQueue, MshrTable
+from repro.cache.mshr import WORD_BYTES, MissQueue, MshrTable
 from repro.cache.tagarray import CacheGeometry
 from repro.core.policy import CachePolicy, StallReason
 from repro.core.pdpt import (
@@ -153,6 +153,7 @@ class FastL1DCache:
         mshr_merge: int = 8,
         miss_queue_depth: int = 8,
         sm_id: int = 0,
+        non_blocking: bool = False,
     ) -> None:
         spec = (
             policy
@@ -161,7 +162,14 @@ class FastL1DCache:
         )
         self.spec = spec
         self.geometry = geometry
-        self.mshr = MshrTable(mshr_entries, mshr_merge)
+        self.non_blocking = non_blocking
+        self.words_per_line = max(1, geometry.line_size // WORD_BYTES)
+        self.mshr = MshrTable(
+            mshr_entries,
+            mshr_merge,
+            word_granular=non_blocking,
+            words_per_line=self.words_per_line,
+        )
         self.miss_queue = MissQueue(miss_queue_depth)
         self.send_fn = send_fn or (lambda req: None)
         self.sm_id = sm_id
@@ -315,7 +323,13 @@ class FastL1DCache:
         entry = self.mshr.lookup(block)
         if entry is None:
             raise RuntimeError(f"reserved line {block:#x} without MSHR entry")
-        if entry.num_requests >= self.mshr.max_merged:
+        if self.non_blocking:
+            word: Optional[int] = access.warp_id % self.words_per_line
+            merge_full = not self.mshr.can_merge(block, word)
+        else:
+            word = None
+            merge_full = entry.num_requests >= self.mshr.max_merged
+        if merge_full:
             if self._kind == KIND_STALL_BYPASS:
                 self._bypassed[StallReason.MERGE_FULL.value] += 1
                 return self._do_bypass(
@@ -326,7 +340,7 @@ class FastL1DCache:
         self._query(base, end)
         self.stats.loads += 1
         self.stats.hit_reserved += 1
-        self.mshr.merge(block, access.waiter)
+        self.mshr.merge(block, access.waiter, word=word)
         if self._kind == KIND_DLP:
             self._pdpt_tda(self._pnd[way])
             self._pnd[way] = access.insn_id
@@ -399,7 +413,11 @@ class FastL1DCache:
             gpd = self._gpd
             self._pli[way] = gpd if gpd < self._pl_max else self._pl_max
 
-        self.mshr.allocate(block, access.insn_id, access.now, access.waiter)
+        self.mshr.allocate(
+            block, access.insn_id, access.now, access.waiter,
+            word=(access.warp_id % self.words_per_line)
+            if self.non_blocking else None,
+        )
         self.miss_queue.push(
             FetchRequest(
                 block_addr=block,

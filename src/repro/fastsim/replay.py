@@ -23,6 +23,7 @@ per-SM and aggregate results are unaffected by the interleaving.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Dict, Iterable, List
 
 from repro.core.policy import StallReason
@@ -58,6 +59,7 @@ class FastReplayEngine:
         self.sent_fetches = 0
         self.sent_writes = 0
         l1 = config.l1d
+        self.non_blocking = l1.non_blocking
         self.caches: List[FastL1DCache] = [
             FastL1DCache(
                 l1.geometry(),
@@ -66,13 +68,33 @@ class FastReplayEngine:
                 mshr_merge=l1.mshr_merge,
                 miss_queue_depth=l1.miss_queue_depth,
                 sm_id=sm_id,
+                non_blocking=l1.non_blocking,
             )
             for sm_id in range(config.num_sms)
         ]
         self.replayed_records = 0
         self.replayed_per_sm: List[int] = [0] * config.num_sms
+        self._nb_outstanding = [deque() for _ in range(config.num_sms)]
+        self._nb_seq: List[int] = [0] * config.num_sms
+
+    # Non-blocking replay reuses the reference engine's generic drivers
+    # verbatim (duck-typed: FastL1DCache exposes access/fill/miss_queue/
+    # stats) — the windowed-fill discipline then touches the packed
+    # protocol path exactly as it touches the reference one.
+    access = ReplayEngine.access
+    _access_blocking = ReplayEngine._access_blocking
+    _access_non_blocking = ReplayEngine._access_non_blocking
+    _insn_id = ReplayEngine._insn_id
+    _count_send = ReplayEngine._count_send
+    flush = ReplayEngine.flush
 
     def run(self, records: Iterable[TraceRecord]) -> SimResult:
+        if self.non_blocking:
+            # The fused per-SM loop below is a specialisation under the
+            # immediate-fill invariants (no RESERVED survivors, no
+            # merges, no resource stalls); those do not hold with fills
+            # in flight, so drive the packed caches record by record.
+            return ReplayEngine.run(self, records)  # type: ignore[arg-type]
         buckets: List[List[TraceRecord]] = [[] for _ in self.caches]
         for record in records:
             buckets[record[0]].append(record)

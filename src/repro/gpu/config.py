@@ -33,6 +33,11 @@ class L1DConfig:
     mshr_merge: int = 8
     miss_queue_depth: int = 8
     hit_latency: int = 28  # Fermi L1 load-to-use is ~18-30 core cycles
+    #: Non-blocking L1D: hit-under-miss / miss-under-miss with
+    #: word-granular MSHR coalescing.  Part of the cache *semantics*
+    #: (unlike ``--engine``), so it enters store keys when enabled; off
+    #: keeps the blocking-retry model bit-identical to the baselines.
+    non_blocking: bool = False
 
     @property
     def size_bytes(self) -> int:

@@ -9,6 +9,15 @@ register and continue to retry in the following cycles ... all future
 accesses to the L1D cache will be stalled" (paper Section 2).  The FIFO
 head-of-line blocking here reproduces exactly that behaviour, and its
 cost is what Stall-Bypass / DLP's bypass paths remove.
+
+With ``non_blocking=True`` the unit models a non-blocking L1D front
+end instead: a stalled head still burns its stall cycle (the retry
+occupies the pipeline register), but the unit then offers the L1D the
+next queued instruction's request in FIFO order and issues the first
+one the cache accepts — hit-under-miss and miss-under-miss service
+while the head's miss resources recover.  Probing is side-effect-free
+because a STALL result mutates nothing, so scan order alone determines
+which request goes first and the schedule stays deterministic.
 """
 
 from __future__ import annotations
@@ -44,6 +53,9 @@ class LdStStats:
     requests_sent: int = 0
     stall_cycles: int = 0
     queue_full_rejects: int = 0
+    #: Requests issued past a stalled head (non-blocking mode only):
+    #: hit-under-miss / miss-under-miss services.
+    under_miss_issues: int = 0
 
 
 class LdStUnit:
@@ -57,6 +69,7 @@ class LdStUnit:
         schedule: Callable[[int, Callable[[], None]], None],
         complete_request: Callable[[Optional[Warp]], None],
         sm_id: int = 0,
+        non_blocking: bool = False,
     ):
         self.l1d = l1d
         self.hit_latency = hit_latency
@@ -64,6 +77,7 @@ class LdStUnit:
         self.schedule = schedule
         self.complete_request = complete_request
         self.sm_id = sm_id
+        self.non_blocking = non_blocking
         self.queue: Deque[MemWork] = deque()
         self.stats = LdStStats()
 
@@ -83,14 +97,9 @@ class LdStUnit:
             work.warp.begin_memory_wait(len(work.blocks))
         self.queue.append(work)
 
-    def step(self, now: int) -> bool:
-        """Process (at most) one request this cycle; True on progress."""
-        if not self.queue:
-            return False
-        work = self.queue[0]
-        block = work.blocks[work.next_index]
-        access = MemAccess(
-            block_addr=block,
+    def _access_for(self, work: MemWork, now: int) -> MemAccess:
+        return MemAccess(
+            block_addr=work.blocks[work.next_index],
             pc=work.pc,
             insn_id=work.insn_id,
             is_write=work.is_write,
@@ -99,13 +108,37 @@ class LdStUnit:
             now=now,
             waiter=None if work.is_write else work.warp,
         )
-        result = self.l1d.access(access)
+
+    def step(self, now: int) -> bool:
+        """Process (at most) one request this cycle; True on progress."""
+        if not self.queue:
+            return False
+        work = self.queue[0]
+        result = self.l1d.access(self._access_for(work, now))
         if result.is_stall:
             self.stats.stall_cycles += 1
-            return False
+            if not self.non_blocking:
+                return False
+            return self._issue_under_miss(now)
 
+        self._finish_issue(work, result.outcome, index=0)
+        return True
+
+    def _issue_under_miss(self, now: int) -> bool:
+        """Head stalled: offer later queued instructions to the L1D in
+        FIFO order and issue the first accepted one (non-blocking mode)."""
+        for i in range(1, len(self.queue)):
+            work = self.queue[i]
+            result = self.l1d.access(self._access_for(work, now))
+            if result.is_stall:
+                continue
+            self.stats.under_miss_issues += 1
+            self._finish_issue(work, result.outcome, index=i)
+            return True
+        return False
+
+    def _finish_issue(self, work: MemWork, outcome: AccessOutcome, index: int) -> None:
         self.stats.requests_sent += 1
-        outcome = result.outcome
         if outcome is AccessOutcome.HIT:
             warp = work.warp
             self.schedule(
@@ -117,8 +150,10 @@ class LdStUnit:
 
         work.next_index += 1
         if work.next_index >= len(work.blocks):
-            self.queue.popleft()
-        return True
+            if index == 0:
+                self.queue.popleft()
+            else:
+                del self.queue[index]
 
     def pending_requests(self) -> int:
         return sum(w.remaining for w in self.queue)

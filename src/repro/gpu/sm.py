@@ -64,6 +64,7 @@ class StreamingMultiprocessor:
             mshr_merge=config.l1d.mshr_merge,
             miss_queue_depth=config.l1d.miss_queue_depth,
             sm_id=sm_id,
+            non_blocking=config.l1d.non_blocking,
         )
         # The policy-side surface the simulator talks to: the policy
         # instance itself (reference) or the packed-state facade (fast).
@@ -78,6 +79,7 @@ class StreamingMultiprocessor:
             schedule=schedule,
             complete_request=self.complete_request,
             sm_id=sm_id,
+            non_blocking=config.l1d.non_blocking,
         )
         self.cta_slots = [CtaSlot(i) for i in range(config.max_ctas_per_sm)]
         self.active_warps = 0

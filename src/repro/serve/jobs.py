@@ -112,6 +112,13 @@ def replay_unit(spec: Dict[str, Any],
     kwargs = dict(spec["policy_kwargs"])
     engine = spec.get("engine", "reference")
     config = GPUConfig().scaled(spec["num_sms"])
+    # Traces are mode-independent (the coalesced access stream), so the
+    # recording side always uses the blocking config and its trace key;
+    # non_blocking only changes how the *replay* services the stream.
+    replay_config = (
+        config.with_l1d(non_blocking=True)
+        if spec.get("non_blocking") else config
+    )
 
     if trace_dir:
         root = Path(trace_dir)
@@ -130,11 +137,11 @@ def replay_unit(spec: Dict[str, Any],
                 except OSError:
                     pass
                 raise
-        result = replay_trace(TraceReader(path), scheme, config,
+        result = replay_trace(TraceReader(path), scheme, replay_config,
                               engine=engine, **kwargs)
     else:
         records = capture_records(make_workload(abbr, scale, seed=seed),
                                   config)
-        result = replay_records(iter(records), config, scheme,
+        result = replay_records(iter(records), replay_config, scheme,
                                 engine=engine, **kwargs)
     return result.to_dict()

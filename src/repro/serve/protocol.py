@@ -29,6 +29,7 @@ from repro.experiments.store import (
     cell_fingerprint,
     replay_cell_key,
 )
+from repro.gpu.config import GPUConfig
 from repro.experiments.runner import SCHEME_LABELS
 from repro.workloads.registry import WORKLOADS
 
@@ -67,6 +68,14 @@ class UnitSpec:
     seed: int = 0
     max_cycles: Optional[int] = None
     policy_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    #: Non-blocking L1D mode.  Part of the semantics, so (unlike the
+    #: engine) it flows into the cell's config and its store key.
+    non_blocking: bool = False
+
+    def _config(self) -> Optional[GPUConfig]:
+        if not self.non_blocking:
+            return None
+        return GPUConfig().scaled(self.num_sms).with_l1d(non_blocking=True)
 
     def cell(self, engine: str = "reference") -> Cell:
         """The executor-level cell (timing-simulation units only).
@@ -81,6 +90,7 @@ class UnitSpec:
             scale=self.scale,
             seed=self.seed,
             max_cycles=self.max_cycles,
+            config=self._config(),
             engine=engine,
             **dict(self.policy_kwargs),
         )
@@ -116,7 +126,7 @@ class UnitSpec:
 
     def describe(self) -> Dict[str, Any]:
         """Compact human/JSON-facing identity (job status payloads)."""
-        return {
+        out = {
             "mode": self.mode,
             "app": self.abbr,
             "scheme": self.scheme,
@@ -125,6 +135,9 @@ class UnitSpec:
             "seed": self.seed,
             "key": self.key(),
         }
+        if self.non_blocking:
+            out["non_blocking"] = True
+        return out
 
     def meta(self) -> Dict[str, Any]:
         """Store metadata, matching what the sweep executors write."""
@@ -137,6 +150,8 @@ class UnitSpec:
         }
         if self.mode == MODE_REPLAY:
             meta["mode"] = "replay"
+        if self.non_blocking:
+            meta["non_blocking"] = True
         return meta
 
     def worker_payload(self) -> Dict[str, Any]:
@@ -148,6 +163,7 @@ class UnitSpec:
             "scale": self.scale,
             "seed": self.seed,
             "policy_kwargs": dict(self.policy_kwargs),
+            "non_blocking": self.non_blocking,
         }
 
 
@@ -175,6 +191,7 @@ def cell_request(app: str, scheme: str, *, sms: int = 4, scale: float = 1.0,
                  seed: int = 0, max_cycles: Optional[int] = None,
                  priority: Optional[str] = None,
                  policy_kwargs: Optional[Mapping[str, Any]] = None,
+                 non_blocking: bool = False,
                  ) -> Dict[str, Any]:
     body: Dict[str, Any] = {
         "kind": "cell", "app": app, "scheme": scheme, "sms": sms,
@@ -186,11 +203,14 @@ def cell_request(app: str, scheme: str, *, sms: int = 4, scale: float = 1.0,
         body["priority"] = priority
     if policy_kwargs:
         body["policy_kwargs"] = dict(policy_kwargs)
+    if non_blocking:
+        body["non_blocking"] = True
     return body
 
 
 def sweep_request(apps, schemes, *, sms: int = 4, scale: float = 1.0,
                   seed: int = 0, priority: Optional[str] = None,
+                  non_blocking: bool = False,
                   ) -> Dict[str, Any]:
     body: Dict[str, Any] = {
         "kind": "sweep", "apps": list(apps), "schemes": list(schemes),
@@ -198,14 +218,17 @@ def sweep_request(apps, schemes, *, sms: int = 4, scale: float = 1.0,
     }
     if priority is not None:
         body["priority"] = priority
+    if non_blocking:
+        body["non_blocking"] = True
     return body
 
 
 def replay_request(apps, schemes, *, sms: int = 4, scale: float = 1.0,
                    seed: int = 0, priority: Optional[str] = None,
+                   non_blocking: bool = False,
                    ) -> Dict[str, Any]:
     body = sweep_request(apps, schemes, sms=sms, scale=scale, seed=seed,
-                         priority=priority)
+                         priority=priority, non_blocking=non_blocking)
     body["kind"] = "replay"
     return body
 
@@ -260,6 +283,9 @@ def parse_job_request(payload: Any) -> JobRequest:
     policy_kwargs = payload.get("policy_kwargs", {})
     if not isinstance(policy_kwargs, dict):
         raise ProtocolError("policy_kwargs must be a JSON object")
+    non_blocking = payload.get("non_blocking", False)
+    if not isinstance(non_blocking, bool):
+        raise ProtocolError("non_blocking must be a boolean")
 
     mode = MODE_REPLAY if kind == "replay" else MODE_SIM
     units = [
@@ -272,6 +298,7 @@ def parse_job_request(payload: Any) -> JobRequest:
             seed=seed,
             max_cycles=max_cycles,
             policy_kwargs=tuple(sorted(policy_kwargs.items())),
+            non_blocking=non_blocking,
         )
         for app in apps
         for scheme in schemes

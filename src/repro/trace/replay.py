@@ -29,7 +29,8 @@ the differential oracle (`tests/trace/test_record_replay.py`) holds both.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.cache.l1d import L1DCache, L1DStats, MemAccess
 from repro.core import make_policy
@@ -44,6 +45,14 @@ from repro.workloads.base import Workload
 #: frees a line after at most ``pl_max`` (15) decaying re-queries; 4096
 #: turns a model bug into a loud error instead of a hang.
 MAX_STALL_RETRIES = 4096
+
+#: Non-blocking replay: how many accesses a fetch stays outstanding
+#: before its fill is applied.  The replay clock is *accesses*, not
+#: cycles, so the window is the functional analogue of memory latency —
+#: large enough to keep several misses in flight (exercising RESERVED
+#: lines, MSHR merging and resource stalls), small enough that the
+#: outstanding set stays bounded by ``min(window, mshr_entries)``.
+NB_FILL_WINDOW = 24
 
 
 class ReplayStallError(RuntimeError):
@@ -64,6 +73,7 @@ class ReplayEngine:
         self.sent_writes = 0
         self.caches: List[L1DCache] = []
         l1 = config.l1d
+        self.non_blocking = l1.non_blocking
         for sm_id in range(config.num_sms):
             cache = L1DCache(
                 l1.geometry(),
@@ -73,12 +83,21 @@ class ReplayEngine:
                 mshr_merge=l1.mshr_merge,
                 miss_queue_depth=l1.miss_queue_depth,
                 sm_id=sm_id,
+                non_blocking=l1.non_blocking,
             )
             self.caches.append(cache)
         self.replayed_records = 0
         #: Records replayed per SM stream; :func:`replay_trace` checks
         #: this against the trace header's ``records_per_sm``.
         self.replayed_per_sm: List[int] = [0] * config.num_sms
+        # Non-blocking replay state: per-SM FIFO of (issue_seq, block)
+        # fetches awaiting their fill, plus a per-SM access counter that
+        # serves as the replay clock (fills apply NB_FILL_WINDOW accesses
+        # after issue, in issue order — deterministic wakeups).
+        self._nb_outstanding: List[Deque[Tuple[int, int]]] = [
+            deque() for _ in range(config.num_sms)
+        ]
+        self._nb_seq: List[int] = [0] * config.num_sms
 
     # -- plumbing ------------------------------------------------------
 
@@ -98,7 +117,8 @@ class ReplayEngine:
 
     def access(self, record: TraceRecord) -> None:
         """Push one record through its SM's cache, servicing fetches
-        immediately and retrying stalls in place."""
+        immediately (blocking mode) or after :data:`NB_FILL_WINDOW`
+        accesses (non-blocking mode) and retrying stalls in place."""
         sm_id = record[0]
         cache = self.caches[sm_id]
         acc = MemAccess(
@@ -109,6 +129,14 @@ class ReplayEngine:
             warp_id=record[4] if len(record) > 4 else 0,
             sm_id=sm_id,
         )
+        if self.non_blocking:
+            self._access_non_blocking(cache, acc, sm_id)
+        else:
+            self._access_blocking(cache, acc, sm_id)
+        self.replayed_records += 1
+        self.replayed_per_sm[sm_id] += 1
+
+    def _access_blocking(self, cache: L1DCache, acc: MemAccess, sm_id: int) -> None:
         result = cache.access(acc)
         retries = 0
         while result.is_stall:
@@ -131,12 +159,56 @@ class ReplayEngine:
                 cache.stats.sent_fetches += 1
                 self.sent_fetches += 1
                 cache.fill(fetch.block_addr, 0)
-        self.replayed_records += 1
-        self.replayed_per_sm[sm_id] += 1
+
+    def _access_non_blocking(
+        self, cache: L1DCache, acc: MemAccess, sm_id: int
+    ) -> None:
+        """Windowed service: fetches stay outstanding for
+        :data:`NB_FILL_WINDOW` accesses, so RESERVED lines survive,
+        secondary misses merge and MSHR/miss-queue pressure builds.
+        Fills apply strictly in issue order (FIFO), keeping wakeups
+        deterministic; a stalled access drains the oldest outstanding
+        fill early, modelling the pipeline waiting for the response
+        that frees its resource."""
+        outstanding = self._nb_outstanding[sm_id]
+        seq = self._nb_seq[sm_id]
+        while outstanding and outstanding[0][0] + NB_FILL_WINDOW <= seq:
+            cache.fill(outstanding.popleft()[1], 0)
+        result = cache.access(acc)
+        retries = 0
+        while result.is_stall:
+            retries += 1
+            if retries > MAX_STALL_RETRIES:
+                raise ReplayStallError(
+                    f"SM{sm_id} access to block {acc.block_addr:#x} stalled "
+                    f"{retries} times ({result.stall_reason}) without "
+                    f"converging"
+                )
+            if outstanding:
+                cache.fill(outstanding.popleft()[1], 0)
+            result = cache.access(acc)
+        while not cache.miss_queue.is_empty:
+            fetch = cache.miss_queue.pop()
+            if fetch.is_write:
+                cache.stats.sent_writes += 1
+                self.sent_writes += 1
+            else:
+                cache.stats.sent_fetches += 1
+                self.sent_fetches += 1
+                outstanding.append((seq, fetch.block_addr))
+        self._nb_seq[sm_id] = seq + 1
+
+    def flush(self) -> None:
+        """Apply every fill still outstanding (end of stream)."""
+        for sm_id, outstanding in enumerate(self._nb_outstanding):
+            cache = self.caches[sm_id]
+            while outstanding:
+                cache.fill(outstanding.popleft()[1], 0)
 
     def run(self, records: Iterable[TraceRecord]) -> SimResult:
         for record in records:
             self.access(record)
+        self.flush()
         return self.result()
 
     # -- collection ----------------------------------------------------

@@ -179,11 +179,11 @@ class ReplaySweepExecutor:
             result = replay_records(iter(source), config, scheme,
                                     engine=self.engine, **policy_kwargs)
         self.stats.replayed += 1
-        self.store.put(
-            key, result,
-            meta={"abbr": abbr, "scheme": scheme, "mode": "replay",
-                  "num_sms": config.num_sms, "scale": scale, "seed": seed},
-        )
+        meta = {"abbr": abbr, "scheme": scheme, "mode": "replay",
+                "num_sms": config.num_sms, "scale": scale, "seed": seed}
+        if config.l1d.non_blocking:
+            meta["non_blocking"] = True
+        self.store.put(key, result, meta=meta)
         return result
 
     def run_sweep(

@@ -1,0 +1,291 @@
+"""Adversarial stream generators for the differential fuzzer.
+
+The Table 2 models reproduce *benchmark* behaviour; these four
+generators instead aim at the corners of the cache model itself — the
+places where the reference and fast engines, or the blocking and
+non-blocking MSHR paths, could plausibly disagree:
+
+* :class:`SetThrash` (``ATH``) — every access lands in a handful of
+  cache sets with a working set wider than the associativity, so lines
+  are constantly RESERVED/evicted and protection policies see maximal
+  ``NO_RESERVABLE_LINE`` pressure.
+* :class:`PointerChase` (``APC``) — a seeded random walk over a line
+  pool much larger than the cache.  Nearly every access misses, many
+  warps walk concurrently, and revisits land on still-pending lines:
+  the MSHR saturation + secondary-miss coalescing stressor.
+* :class:`PhaseShift` (``APH``) — three kernels with contradictory
+  phases (streaming, tight reuse, random) so per-PC protection state
+  trained in one phase is wrong for the next; exercises policy resets
+  at kernel boundaries.
+* :class:`BypassStorm` (``ABS``) — hammers one set group far past
+  associativity while re-touching recent lines, so bypass-eligible
+  misses and cached requests interleave on the *same* pending blocks
+  (the ``is_bypass`` MSHR-merge edge).
+
+All streams derive from the workload's :class:`DeterministicRng`
+(keyed by abbreviation, salted by ``seed`` via :meth:`Workload.reseed`),
+so a fuzz case is fully identified by ``(abbr, scale, seed)`` — the
+same identity every registry-driven path (trace keys, store keys,
+``repro fuzz`` repro files) already uses.
+
+The generators are deliberately **not** in the Table 2 registry by
+default — figures and sweeps over ``ALL_APPS`` must not change — call
+:func:`register_adversarial_workloads` to add them (idempotent) and
+:func:`unregister_adversarial_workloads` to remove them again.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpu.isa import compute, load, store
+from repro.gpu.kernel import Kernel
+from repro.workloads import registry
+from repro.workloads.base import LINE, Workload, WorkloadMeta
+
+#: Registration order is the fuzzer's default generator order.
+ADVERSARIAL_APPS = ("ATH", "APC", "APH", "ABS")
+
+# Synthetic PCs, disjoint from every Table 2 model (those live in the
+# 0x100-0xF00 range); distinct PCs per generator keep per-instruction
+# policy state (PDPT, VTA) from aliasing across phases.
+_PC = 0xA000
+
+
+def _pc(n: int) -> int:
+    return _PC + 8 * n
+
+
+class _AdversarialWorkload(Workload):
+    """Shared shape: one warp per (cta, warp) walking a seeded stream."""
+
+    #: Sets in the 16 KB harness L1D (32 sets x 128 B lines); the
+    #: same-set stride below is what makes the thrash generators land
+    #: where they aim under the linear indexer.
+    SETS = 32
+    SET_STRIDE = SETS * LINE
+
+
+class SetThrash(_AdversarialWorkload):
+    """ATH: working set wider than the associativity, folded into a few
+    sets.  Each warp cycles a private permutation of ``lines`` blocks
+    that all share a set index, with a one-line phase drift per lap so
+    reuse distances never settle."""
+
+    meta = WorkloadMeta(
+        name="Adversarial Set Thrash",
+        abbr="ATH",
+        suite="adversarial",
+        paper_type="ADV",
+        paper_input="-",
+        scaled_input="12-line conflict set over 2 cache sets, 3 laps",
+    )
+
+    def __init__(self, scale: float = 1.0):
+        super().__init__(scale)
+        self.warps_per_cta = 4
+        self.num_ctas = max(1, int(2 * scale))
+        self.lines = max(6, int(12 * scale))   # > assoc (4) by design
+        self.laps = 3
+
+    def build_kernels(self) -> List[Kernel]:
+        base = self.addr.region("thrash", self.lines * self.SET_STRIDE * 2)
+        order = [self.rng.permutation(self.lines)
+                 for _ in range(self.num_ctas * self.warps_per_cta)]
+
+        def trace(cta: int, w: int):
+            widx = cta * self.warps_per_cta + w
+            perm = order[widx]
+            target_set = widx % 2            # two sets carry everything
+            for lap in range(self.laps):
+                for i in perm:
+                    block = (int(i) + lap) % self.lines
+                    addr = base + target_set * LINE + block * self.SET_STRIDE
+                    yield load(_pc(0), self.broadcast(addr))
+                    yield compute(1)
+            yield store(_pc(1), self.broadcast(base + target_set * LINE))
+
+        return [Kernel("ath_thrash", self.num_ctas, self.warps_per_cta, trace)]
+
+
+class PointerChase(_AdversarialWorkload):
+    """APC: MSHR saturator.  Every warp walks a seeded random chain over
+    a pool ~16x the cache, so almost every access is a miss and several
+    warps are mid-chain at once; one revisit per hop window lands on a
+    likely-pending line to force secondary-miss merges."""
+
+    meta = WorkloadMeta(
+        name="Adversarial Pointer Chase",
+        abbr="APC",
+        suite="adversarial",
+        paper_type="ADV",
+        paper_input="-",
+        scaled_input="2048-line pool, 96-hop chains, 1-in-8 revisit",
+    )
+
+    def __init__(self, scale: float = 1.0):
+        super().__init__(scale)
+        self.warps_per_cta = 4
+        self.num_ctas = max(1, int(2 * scale))
+        self.pool_lines = max(256, int(2048 * scale))
+        self.hops = max(16, int(96 * scale))
+
+    def build_kernels(self) -> List[Kernel]:
+        base = self.addr.region("chase", self.pool_lines * LINE)
+        num_warps = self.num_ctas * self.warps_per_cta
+        hops = self.rng.integers(0, self.pool_lines,
+                                 size=(num_warps, self.hops))
+
+        def trace(cta: int, w: int):
+            widx = cta * self.warps_per_cta + w
+            chain = hops[widx]
+            for h in range(self.hops):
+                line = int(chain[h])
+                yield load(_pc(2), self.broadcast(base + line * LINE))
+                if h % 8 == 7 and h:
+                    # revisit a line another hop just fetched: in
+                    # non-blocking mode this is the secondary-miss /
+                    # word-coalescing path, in blocking mode a waiter
+                    # merge
+                    prev = int(chain[h - 1])
+                    yield load(_pc(3), self.broadcast(base + prev * LINE))
+            yield compute(2)
+
+        return [Kernel("apc_chase", self.num_ctas, self.warps_per_cta, trace)]
+
+
+class PhaseShift(_AdversarialWorkload):
+    """APH: three kernels whose access phases contradict each other —
+    stream (never reuse), spin (always reuse), scatter (random) — so any
+    protection state carried across a kernel boundary mispredicts."""
+
+    meta = WorkloadMeta(
+        name="Adversarial Phase Shift",
+        abbr="APH",
+        suite="adversarial",
+        paper_type="ADV",
+        paper_input="-",
+        scaled_input="stream/spin/scatter kernel triple",
+    )
+
+    def __init__(self, scale: float = 1.0):
+        super().__init__(scale)
+        self.warps_per_cta = 4
+        self.num_ctas = max(1, int(2 * scale))
+        self.span_lines = max(64, int(512 * scale))
+        self.steps = max(16, int(64 * scale))
+
+    def build_kernels(self) -> List[Kernel]:
+        stream = self.addr.region("stream", self.span_lines * LINE)
+        spin = self.addr.region("spin", 8 * LINE)
+        scatter = self.addr.region("scatter", self.span_lines * LINE)
+        num_warps = self.num_ctas * self.warps_per_cta
+        picks = self.rng.integers(0, self.span_lines,
+                                  size=(num_warps, self.steps))
+
+        def stream_trace(cta: int, w: int):
+            widx = cta * self.warps_per_cta + w
+            for s in range(self.steps):
+                line = (widx * self.steps + s) % self.span_lines
+                yield load(_pc(4), self.coalesced(stream + line * LINE))
+                yield compute(2)
+
+        def spin_trace(cta: int, w: int):
+            widx = cta * self.warps_per_cta + w
+            for s in range(self.steps):
+                yield load(_pc(5), self.broadcast(spin + (widx % 8) * LINE))
+                yield compute(1)
+
+        def scatter_trace(cta: int, w: int):
+            widx = cta * self.warps_per_cta + w
+            for s in range(self.steps):
+                line = int(picks[widx][s])
+                yield load(_pc(6), self.broadcast(scatter + line * LINE))
+                if s % 4 == 3:
+                    yield store(_pc(7), self.broadcast(scatter + line * LINE))
+                yield compute(1)
+
+        make = lambda name, fn: Kernel(name, self.num_ctas,  # noqa: E731
+                                       self.warps_per_cta, fn)
+        return [make("aph_stream", stream_trace),
+                make("aph_spin", spin_trace),
+                make("aph_scatter", scatter_trace)]
+
+
+class BypassStorm(_AdversarialWorkload):
+    """ABS: one set group hammered far past associativity while each
+    warp re-touches its last few lines, so bypass-eligible misses and
+    cached requests interleave on the same pending blocks."""
+
+    meta = WorkloadMeta(
+        name="Adversarial Bypass Storm",
+        abbr="ABS",
+        suite="adversarial",
+        paper_type="ADV",
+        paper_input="-",
+        scaled_input="24-line burst into one set, depth-3 re-touch",
+    )
+
+    def __init__(self, scale: float = 1.0):
+        super().__init__(scale)
+        self.warps_per_cta = 4
+        self.num_ctas = max(1, int(2 * scale))
+        self.burst = max(8, int(24 * scale))
+        self.rounds = 2
+
+    def build_kernels(self) -> List[Kernel]:
+        base = self.addr.region("storm", self.burst * self.SET_STRIDE * 2)
+        num_warps = self.num_ctas * self.warps_per_cta
+        jitter = self.rng.integers(0, self.burst,
+                                   size=(num_warps, self.rounds * self.burst))
+
+        def trace(cta: int, w: int):
+            widx = cta * self.warps_per_cta + w
+            step = 0
+            for r in range(self.rounds):
+                for i in range(self.burst):
+                    line = (i + int(jitter[widx][step])) % self.burst
+                    addr = base + line * self.SET_STRIDE
+                    yield load(_pc(8), self.broadcast(addr))
+                    if i >= 3:
+                        # re-touch a line from 3 bursts back: usually
+                        # still pending under MSHR pressure, making
+                        # this a cached request against a (possibly
+                        # bypassed) outstanding fetch
+                        back = (line - 3) % self.burst
+                        yield load(_pc(9),
+                                   self.broadcast(base + back * self.SET_STRIDE))
+                    step += 1
+                yield compute(4)
+
+        return [Kernel("abs_storm", self.num_ctas, self.warps_per_cta, trace)]
+
+
+_CLASSES = {
+    "ATH": SetThrash,
+    "APC": PointerChase,
+    "APH": PhaseShift,
+    "ABS": BypassStorm,
+}
+
+
+def register_adversarial_workloads() -> List[str]:
+    """Add the adversarial generators to the workload registry.
+
+    Idempotent; returns the abbreviations that are now registered.
+    After this, ``make_workload("APC", seed=7)`` and every registry
+    consumer (trace record, replay sweeps, the fuzzer) can use them.
+    """
+    for abbr, cls in _CLASSES.items():
+        if abbr not in registry.WORKLOADS:
+            registry.WORKLOADS[abbr] = cls
+            registry.ALL_APPS.append(abbr)
+    return list(_CLASSES)
+
+
+def unregister_adversarial_workloads() -> None:
+    """Remove the adversarial generators again (test hygiene)."""
+    for abbr in _CLASSES:
+        registry.WORKLOADS.pop(abbr, None)
+        if abbr in registry.ALL_APPS:
+            registry.ALL_APPS.remove(abbr)

@@ -16,11 +16,23 @@ def pytest_addoption(parser):
         help="rewrite tests/golden/*.json from the current simulator "
              "instead of comparing against them",
     )
+    parser.addoption(
+        "--update-corpus",
+        action="store_true",
+        default=False,
+        help="rewrite tests/fuzz/corpus.json from the current simulator "
+             "instead of comparing against it",
+    )
 
 
 @pytest.fixture
 def update_golden(request) -> bool:
     return request.config.getoption("--update-golden")
+
+
+@pytest.fixture
+def update_corpus(request) -> bool:
+    return request.config.getoption("--update-corpus")
 
 
 @pytest.fixture

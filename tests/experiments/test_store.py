@@ -15,6 +15,8 @@ from repro.experiments.store import (
     cell_fingerprint,
     cell_key,
     open_store,
+    replay_cell_key,
+    trace_key,
 )
 from repro.gpu.simulator import SimResult
 
@@ -61,6 +63,52 @@ class TestCellKey:
         assert cell_key(
             "MM", "dlp", cfg, policy_kwargs={"a": 1, "b": 2}
         ) == cell_key("MM", "dlp", cfg, policy_kwargs={"b": 2, "a": 1})
+
+
+class TestNonBlockingKeys:
+    """``non_blocking`` is cache *semantics* (unlike ``--engine``): it
+    must enter cell identities when on, and vanish without a trace when
+    off so every pre-existing blocking-mode key survives."""
+
+    #: Blocking-mode keys for (MM, dlp, harness_config(1)), pinned at
+    #: the commit that introduced the non-blocking flag.  If these move,
+    #: every result store in the wild silently cold-starts.
+    PINNED_CELL_KEY = (
+        "5a5a596fddf045eacdce9c6c1d006aa75933b86319335a4d0adda8d9c4080775"
+    )
+    PINNED_REPLAY_KEY = (
+        "f87993b9b596e24aa53d7e46d1c3978da6980caa7c9fc9d81e19bbf80c717143"
+    )
+    PINNED_TRACE_KEY = (
+        "a3d5bb0ff8603cee2d2b135fe438da8465957d5fc43ab9ce5d9d16dcbc4a0393"
+    )
+
+    def test_blocking_keys_are_pinned(self):
+        cfg = harness_config(1)
+        assert cell_key("MM", "dlp", cfg) == self.PINNED_CELL_KEY
+        assert replay_cell_key("MM", "dlp", cfg) == self.PINNED_REPLAY_KEY
+        assert trace_key("MM", cfg) == self.PINNED_TRACE_KEY
+
+    def test_non_blocking_changes_cell_and_replay_keys(self):
+        cfg = harness_config(1)
+        nb = cfg.with_l1d(non_blocking=True)
+        assert cell_key("MM", "dlp", nb) != self.PINNED_CELL_KEY
+        assert replay_cell_key("MM", "dlp", nb) != self.PINNED_REPLAY_KEY
+
+    def test_trace_key_is_mode_independent(self):
+        """Traces are captured upstream of the L1D, so the same recorded
+        stream serves both modes under one key."""
+        cfg = harness_config(1)
+        assert trace_key("MM", cfg.with_l1d(non_blocking=True)) \
+            == self.PINNED_TRACE_KEY
+
+    def test_blocking_fingerprint_has_no_non_blocking_field(self):
+        fp = cell_fingerprint("MM", "dlp", harness_config(1))
+        assert "non_blocking" not in fp["config"]["l1d"]
+        nb_fp = cell_fingerprint(
+            "MM", "dlp", harness_config(1).with_l1d(non_blocking=True)
+        )
+        assert nb_fp["config"]["l1d"]["non_blocking"] is True
 
 
 class TestSerialization:

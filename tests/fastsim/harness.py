@@ -80,17 +80,29 @@ def thrash_stream(length: int = 600, working_set: int = 24):
             for i in range(length)]
 
 
+#: Non-blocking discipline: accesses a fetch stays outstanding before
+#: its fill lands (mirrors ``repro.trace.replay.NB_FILL_WINDOW``).
+NB_WINDOW = 24
+
+
 def drive_stream(
     policy_name: str,
     engine: str,
     stream: Optional[Stream] = None,
     geometry: Optional[CacheGeometry] = None,
     resets_at: Tuple[int, ...] = (),
+    non_blocking: bool = False,
     **policy_kwargs,
 ) -> Dict:
     """Run one stream through one (policy, engine) pair; return the
     snapshot.  ``resets_at`` lists access indices before which
-    ``policy.reset()`` fires (the between-kernel path)."""
+    ``policy.reset()`` fires (the between-kernel path).
+
+    ``non_blocking`` switches the drive discipline to the windowed-fill
+    model of the non-blocking replay engine: misses stay outstanding for
+    :data:`NB_WINDOW` accesses (RESERVED lines persist between
+    accesses, MSHR merging and resource stalls materialise) instead of
+    the bounded-4-in-flight blocking loop."""
     policy = make_policy(policy_name, **policy_kwargs)
     cache = make_l1d(
         engine,
@@ -99,13 +111,15 @@ def drive_stream(
         mshr_entries=8,
         mshr_merge=4,
         miss_queue_depth=8,
+        non_blocking=non_blocking,
     )
     outstanding: deque = deque()
 
     def fill_oldest() -> bool:
         if not outstanding:
             return False
-        cache.fill(outstanding.popleft(), now=0)
+        entry = outstanding.popleft()
+        cache.fill(entry[1] if non_blocking else entry, now=0)
         return True
 
     accesses = list(stream if stream is not None else golden_stream())
@@ -115,6 +129,9 @@ def drive_stream(
                 pass
             cache.drain_miss_queue(8)
             cache.policy.reset()
+        if non_blocking:
+            while outstanding and outstanding[0][0] + NB_WINDOW <= step:
+                fill_oldest()
         access = MemAccess(
             block_addr=block, pc=pc, insn_id=hash_pc(pc),
             is_write=is_write, now=step,
@@ -133,10 +150,11 @@ def drive_stream(
                     raise RuntimeError(f"non-converging stall: {access}")
             result = cache.access(access)
         if result.outcome is AccessOutcome.MISS:
-            outstanding.append(block)
+            outstanding.append((step, block) if non_blocking else block)
         cache.drain_miss_queue(2)
-        while len(outstanding) > 4:
-            fill_oldest()
+        if not non_blocking:
+            while len(outstanding) > 4:
+                fill_oldest()
         if step % 8 == 7:
             cache.policy.notify_instructions(64)
     while fill_oldest():

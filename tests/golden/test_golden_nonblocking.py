@@ -1,0 +1,161 @@
+"""Golden snapshots for the non-blocking L1D, plus a seed-integrity gate.
+
+The same fixed synthetic stream as ``test_golden_traces`` drives a
+non-blocking L1D (``non_blocking=True``) under the windowed-fill
+discipline of the replay engine: a miss stays outstanding for
+:data:`NB_WINDOW` accesses before its fill lands, so RESERVED lines
+persist between accesses, secondary misses merge in the MSHR at word
+granularity, and MSHR/miss-queue pressure stalls are real (the table is
+sized below the window on purpose).  One snapshot per policy is pinned
+in ``tests/golden/nonblocking_<policy>.json``; regenerate intentional
+changes with::
+
+    python -m pytest tests/golden -q --update-golden
+
+The blocking goldens are additionally pinned **by file hash** against
+the seed commit: the non-blocking mode rode in behind a default-off
+flag, so the four pre-existing snapshot files must remain byte-for-byte
+what the seed shipped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from pathlib import Path
+
+import pytest
+
+from repro.cache.l1d import AccessOutcome, L1DCache, MemAccess
+from repro.cache.tagarray import CacheGeometry
+from repro.core import make_policy
+from repro.utils.hashing import hash_pc
+
+from tests.golden.test_golden_traces import POLICIES, synthetic_stream
+
+GOLDEN_DIR = Path(__file__).parent
+
+#: Accesses a fetch stays in flight before its fill returns (mirrors
+#: ``repro.trace.replay.NB_FILL_WINDOW``).
+NB_WINDOW = 24
+
+#: sha256 of the four blocking golden snapshots as shipped by the seed.
+#: The non-blocking flag is default-off; these files must never move as
+#: a side effect of non-blocking work.  (An *intentional* blocking-mode
+#: semantic change updates these pins alongside --update-golden.)
+SEED_GOLDEN_SHA256 = {
+    "baseline.json":
+        "d4850ed84a60db523e8e926d2250c0e0f32dd95f34eb7d91a997723924749531",
+    "dlp.json":
+        "4eba26fabc775897e033d5015a469fbecb0ef56bdc3f757035c06c1cd7561e2c",
+    "global_protection.json":
+        "113ccf1b7a8e2094780cc15e6d4f29a81bec4ce05c984befb197a45714ce2af0",
+    "stall_bypass.json":
+        "45001c9c118b53f3f98e548c4db6d624803100bb581cbe685cb4d1cb646423f7",
+}
+
+
+def run_trace_nonblocking(policy_name: str) -> dict:
+    """Drive the fixed stream through a non-blocking L1D; window fills
+    by issue age instead of bounding misses in flight."""
+    policy = make_policy(policy_name)
+    cache = L1DCache(
+        CacheGeometry(num_sets=8, assoc=2, line_size=128, index_fn="linear"),
+        policy,
+        mshr_entries=8,
+        mshr_merge=4,
+        miss_queue_depth=8,
+        non_blocking=True,
+    )
+    outstanding: deque = deque()
+
+    def fill_oldest() -> bool:
+        if not outstanding:
+            return False
+        _, block = outstanding.popleft()
+        cache.fill(block, now=0)
+        return True
+
+    for step, (block, pc, is_write) in enumerate(synthetic_stream()):
+        while outstanding and outstanding[0][0] + NB_WINDOW <= step:
+            fill_oldest()
+        access = MemAccess(
+            block_addr=block, pc=pc, insn_id=hash_pc(pc),
+            is_write=is_write, now=step,
+        )
+        result = cache.access(access)
+        retries = 0
+        while result.is_stall:
+            if fill_oldest():
+                cache.drain_miss_queue(8)
+            else:
+                retries += 1
+                if retries > 4096:
+                    raise RuntimeError(f"non-converging stall: {access}")
+            result = cache.access(access)
+        if result.outcome is AccessOutcome.MISS:
+            outstanding.append((step, block))
+        cache.drain_miss_queue(2)
+        if step % 8 == 7:
+            policy.notify_instructions(64)
+    while fill_oldest():
+        pass
+    cache.drain_miss_queue(8)
+
+    if policy_name == "dlp":
+        final_pds = {
+            str(insn_id): entry["pd"]
+            for insn_id, entry in sorted(policy.pd_snapshot().items())
+        }
+    elif policy_name == "global_protection":
+        final_pds = {"global": policy.global_pd}
+    else:
+        final_pds = {}
+    return {
+        "l1d": cache.stats.to_raw_dict(),
+        "policy": {k: v for k, v in sorted(policy.stats().items())},
+        "final_pds": final_pds,
+    }
+
+
+@pytest.mark.parametrize("policy_name", POLICIES)
+def test_golden_trace_nonblocking(policy_name, update_golden):
+    snapshot = run_trace_nonblocking(policy_name)
+    path = GOLDEN_DIR / f"nonblocking_{policy_name}.json"
+    if update_golden:
+        path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        return
+    assert path.exists(), (
+        f"missing golden snapshot {path.name}; generate with "
+        f"`python -m pytest tests/golden --update-golden`"
+    )
+    golden = json.loads(path.read_text())
+    assert snapshot == golden, (
+        f"{policy_name} (non-blocking): counters diverged from golden "
+        f"snapshot; if the change is intentional, rerun with "
+        f"--update-golden and bump SIM_VERSION"
+    )
+
+
+@pytest.mark.parametrize("policy_name", POLICIES)
+def test_blocking_goldens_byte_identical_to_seed(policy_name):
+    """non_blocking=False is the seed's semantics, down to the bytes of
+    the pinned snapshot files."""
+    path = GOLDEN_DIR / f"{policy_name}.json"
+    digest = hashlib.sha256(path.read_bytes()).hexdigest()
+    assert digest == SEED_GOLDEN_SHA256[path.name], (
+        f"{path.name} no longer matches the seed snapshot; the "
+        f"non-blocking mode must not perturb blocking-mode goldens"
+    )
+
+
+def test_nonblocking_differs_from_blocking():
+    """The mode is not vacuous: reserved-line reuse happens and the
+    snapshots move for every policy."""
+    from tests.golden.test_golden_traces import run_trace
+
+    for policy_name in POLICIES:
+        nb = run_trace_nonblocking(policy_name)
+        assert nb["l1d"]["hit_reserved"] > 0, policy_name
+        assert nb != run_trace(policy_name), policy_name

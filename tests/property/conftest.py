@@ -1,0 +1,22 @@
+"""Keep the adversarial generators out of the global registry.
+
+Every test in this package may register ATH/APC/APH/ABS (directly or
+via ``run_fuzz``); without teardown they would leak into the Table 2
+registry assertions elsewhere in the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.adversarial import (
+    register_adversarial_workloads,
+    unregister_adversarial_workloads,
+)
+
+
+@pytest.fixture(autouse=True)
+def _scoped_adversarial_registry():
+    register_adversarial_workloads()
+    yield
+    unregister_adversarial_workloads()
