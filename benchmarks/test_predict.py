@@ -1,0 +1,121 @@
+"""Bench: analytical prediction tier vs. the exact fast-replay tier.
+
+The predictor's pitch is "a whole app x scheme grid for the cost of one
+profiling pass per app, and marginal cells for microseconds".  This
+bench runs the full 18-app x 4-policy paper grid analytically, times
+the exact fast-engine replay of the same cells, asserts the >=100x
+warm-cell speedup the serve tier-0 depends on, and writes
+``benchmarks/BENCH_predict.json`` with the measured speedups and the
+grid-wide miss-rate error.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from conftest import bench_once
+
+from repro.analysis import ascii_table
+from repro.experiments.runner import harness_config
+from repro.predict import PredictSweepExecutor
+from repro.trace import capture_records, replay_records
+from repro.workloads import ALL_APPS, make_workload
+
+SCHEMES = ("baseline", "stall_bypass", "global_protection", "dlp")
+NUM_SMS = 2
+SCALE = 0.25
+SPEEDUP_FLOOR = 100.0   # warm analytical cell vs. exact replay cell
+
+BENCH_JSON = Path(__file__).parent / "BENCH_predict.json"
+
+
+def collect():
+    config = harness_config(NUM_SMS)
+    apps = list(ALL_APPS)
+    cells = len(apps) * len(SCHEMES)
+
+    # Cold sweep: every stream profiled once, then predicted per scheme.
+    executor = PredictSweepExecutor(config=config)
+    t0 = time.perf_counter()
+    grid = executor.run_sweep(apps, SCHEMES, num_sms=NUM_SMS, scale=SCALE)
+    cold_s = time.perf_counter() - t0
+    assert executor.stats.profiled == len(apps)
+    assert executor.stats.predicted == cells
+
+    # Fresh model evaluation with profiles cached (a *new* cell for an
+    # already-profiled stream): clear only the prediction memo.
+    executor._predictions.clear()
+    t0 = time.perf_counter()
+    executor.run_sweep(apps, SCHEMES, num_sms=NUM_SMS, scale=SCALE)
+    model_s = time.perf_counter() - t0
+    model_cell_s = model_s / cells
+    assert executor.stats.prediction_hits == 0
+
+    # Warm sweep: prediction memo hot — the serve tier-0 steady state.
+    t0 = time.perf_counter()
+    executor.run_sweep(apps, SCHEMES, num_sms=NUM_SMS, scale=SCALE)
+    warm_s = time.perf_counter() - t0
+    warm_cell_s = warm_s / cells
+    assert executor.stats.prediction_hits == cells
+
+    # Exact tier: one capture per app, one fast replay per cell.
+    errs = []
+    exact_replay_s = 0.0
+    for app in apps:
+        records = [tuple(r) for r in
+                   capture_records(make_workload(app, SCALE), config)]
+        for scheme in SCHEMES:
+            t0 = time.perf_counter()
+            result = replay_records(iter(records), config, scheme,
+                                    engine="fast")
+            exact_replay_s += time.perf_counter() - t0
+            exact_miss = 1.0 - result.l1d.hit_rate
+            errs.append(abs(grid[app][scheme].miss_rate - exact_miss))
+    exact_cell_s = exact_replay_s / cells
+
+    return {
+        "apps": len(apps),
+        "schemes": list(SCHEMES),
+        "cells": cells,
+        "num_sms": NUM_SMS,
+        "scale": SCALE,
+        "cold_sweep_s": round(cold_s, 4),
+        "model_sweep_s": round(model_s, 4),
+        "model_cell_us": round(model_cell_s * 1e6, 2),
+        "warm_sweep_s": round(warm_s, 4),
+        "warm_cell_us": round(warm_cell_s * 1e6, 2),
+        "exact_replay_cell_s": round(exact_cell_s, 4),
+        "model_speedup": round(exact_cell_s / model_cell_s, 1),
+        "warm_speedup": round(exact_cell_s / warm_cell_s, 1),
+        "cold_speedup": round(exact_replay_s / cold_s, 1),
+        "mean_abs_err": round(sum(errs) / len(errs), 6),
+        "max_abs_err": round(max(errs), 6),
+    }
+
+
+def test_predict_speedup_and_accuracy(benchmark, show):
+    data = bench_once(benchmark, collect)
+    BENCH_JSON.write_text(json.dumps(data, indent=2) + "\n")
+    show(ascii_table(
+        ["Tier", "Per cell", "Grid (72 cells)"],
+        [
+            ("exact fast replay", f"{data['exact_replay_cell_s']:.4f} s",
+             f"{data['exact_replay_cell_s'] * data['cells']:.2f} s"),
+            ("predict (cold)", "-", f"{data['cold_sweep_s']:.2f} s"),
+            ("predict (model eval)", f"{data['model_cell_us']:.0f} us",
+             f"{data['model_sweep_s']:.4f} s"),
+            ("predict (warm memo)", f"{data['warm_cell_us']:.0f} us",
+             f"{data['warm_sweep_s']:.4f} s"),
+        ],
+        title=(f"Analytical tier: {data['warm_speedup']:.0f}x per warm "
+               f"cell, grid mean |err| {data['mean_abs_err']:.4f} "
+               f"(max {data['max_abs_err']:.4f})"),
+    ))
+    # The serve tier-0 contract: a warm analytical answer must be at
+    # least two orders of magnitude cheaper than the exact engine.
+    assert data["warm_speedup"] >= SPEEDUP_FLOOR, data
+    # And the answers must stay inside the committed envelope's bounds.
+    assert data["mean_abs_err"] <= 0.02, data
+    assert data["max_abs_err"] <= 0.12, data

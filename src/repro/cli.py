@@ -14,7 +14,10 @@ store      inspect (``ls``), wipe (``clear``) or age out (``prune``)
 serve      run the long-lived async simulation service (HTTP job API,
            request coalescing, /healthz + /metrics, SIGTERM drain)
 submit     drive a running service: submit cell/sweep/replay jobs,
-           poll status, cancel, inspect metrics
+           poll status, cancel, inspect metrics; ``--predict`` asks for
+           instant tier-0 analytical answers with background refinement
+predict    analytical miss-rate/IPC estimates for an app x scheme grid —
+           no cache is stepped; calibrated error bars included
 profile    reuse-distance analysis of one application (Fig. 3/7 style)
 trace      record, inspect, replay and import memory traces
 check      determinism linter + hardware-contract static checks (CI gate)
@@ -36,11 +39,14 @@ Examples
     python -m repro serve --port 8642 --workers 4 --store .repro-store
     python -m repro submit cell BFS dlp --wait
     python -m repro submit sweep --apps BFS,KM --schemes baseline,dlp
+    python -m repro submit cell BFS dlp --predict --wait
     python -m repro submit status job-000001
     python -m repro submit metrics
+    python -m repro predict --apps BFS,KM --schemes baseline,dlp
     python -m repro profile BFS
     python -m repro trace record BFS --out bfs.rptr --scale 0.5
     python -m repro trace info bfs.rptr
+    python -m repro trace info bfs.rptr --rdd
     python -m repro trace replay bfs.rptr --verify
     python -m repro trace import foreign.csv foreign.rptr
     python -m repro check
@@ -234,6 +240,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--non-blocking", action="store_true",
                        help="non-blocking L1D (semantic switch: enters "
                             "store keys)")
+        p.add_argument("--predict", action="store_true",
+                       help="tier-0: answer cold cells analytically now "
+                            "(with error bars) and refine to exact "
+                            "results in the background")
 
     s_status = submit_sub.add_parser("status", help="poll one job")
     s_status.add_argument("job_id")
@@ -247,6 +257,26 @@ def build_parser() -> argparse.ArgumentParser:
                            help="raw Prometheus text instead of tables")
 
     submit_sub.add_parser("health", help="service liveness/drain state")
+
+    p_pred = sub.add_parser(
+        "predict",
+        help="analytical miss-rate/IPC estimates for an app x scheme "
+             "grid (no simulation; calibrated error bars)",
+    )
+    p_pred.add_argument("--apps", default="all",
+                        help="comma-separated Table 2 abbrs (default: all)")
+    p_pred.add_argument("--schemes", default=",".join(TRAFFIC_SCHEMES),
+                        help="comma-separated scheme names "
+                             f"(default: {','.join(TRAFFIC_SCHEMES)})")
+    p_pred.add_argument("--sms", type=int, default=4)
+    p_pred.add_argument("--scale", type=float, default=1.0)
+    p_pred.add_argument("--seed", type=int, default=0)
+    p_pred.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="profile streams from recorded traces here "
+                             "instead of re-capturing the workloads")
+    p_pred.add_argument("--raw", action="store_true",
+                        help="skip the packaged calibration (uncorrected "
+                             "model, no error bars)")
 
     p_prof = sub.add_parser(
         "profile",
@@ -282,6 +312,10 @@ def build_parser() -> argparse.ArgumentParser:
         "info", help="print a trace's header without decoding records"
     )
     t_info.add_argument("trace", metavar="FILE")
+    t_info.add_argument("--rdd", action="store_true",
+                        help="also profile the records: overall and "
+                             "per-instruction reuse-distance "
+                             "distributions (no replay)")
 
     t_rep = trace_sub.add_parser(
         "replay", help="drive cache policies from a recorded trace"
@@ -580,26 +614,54 @@ def cmd_serve(args) -> int:
 
 
 def _render_job(doc) -> str:
-    """One settled job's results as the familiar sweep-style table."""
+    """One settled job's results as the familiar sweep-style table.
+
+    Tier-0 answers (``tier: "analytical"``) have no cycle count; they
+    render with a ``~`` marker and their calibrated error bars."""
     from repro.gpu.simulator import SimResult
 
     rows = []
+    analytical = 0
     for entry in doc.get("results") or []:
-        unit, r = entry["unit"], SimResult.from_dict(entry["result"])
+        unit, payload = entry["unit"], entry["result"]
+        scheme = SCHEME_LABELS.get(unit["scheme"], unit["scheme"])
+        if payload.get("tier") == "analytical":
+            analytical += 1
+            err = payload.get("error") or {}
+            ipc = payload.get("ipc")
+            rows.append((
+                unit["app"],
+                scheme,
+                "~",
+                f"{ipc:.4g}" if ipc is not None else "-",
+                f"{payload['hit_rate']:.3f}"
+                + (f" ±{err['mean_abs']:.3f}" if "mean_abs" in err else ""),
+                f"{payload['bypasses']:.0f}",
+            ))
+            continue
+        r = SimResult.from_dict(
+            {k: v for k, v in payload.items() if k != "tier"}
+        )
         rows.append((
             unit["app"],
-            SCHEME_LABELS.get(unit["scheme"], unit["scheme"]),
+            scheme,
             str(r.cycles),
             f"{r.ipc:.4g}",
             f"{r.l1d.hit_rate:.3f}",
             str(r.l1d.bypasses),
         ))
-    return ascii_table(
+    table = ascii_table(
         ["App", "Scheme", "Cycles", "IPC", "Hit rate", "Bypasses"],
         rows,
         title=f"{doc['id']}: {doc['kind']} {doc['state']} "
               f"({doc['units']} units)",
     )
+    if analytical:
+        table += (
+            f"\n~ {analytical} analytical tier-0 answer(s); exact results "
+            "are refining in the background and supersede in the store"
+        )
+    return table
 
 
 def cmd_submit(args) -> int:
@@ -627,7 +689,7 @@ def cmd_submit(args) -> int:
             return 0
         doc = client.metrics()
         rows = [(f"{group}.{k}", str(v))
-                for group in ("jobs", "cells", "store")
+                for group in ("jobs", "cells", "predict", "store")
                 for k, v in sorted(doc.get(group, {}).items())]
         rows.append(("draining", str(doc.get("draining"))))
         rows.append(("uptime_seconds", str(doc.get("uptime_seconds"))))
@@ -635,6 +697,11 @@ def cmd_submit(args) -> int:
         print()
         print(render_latency_histogram("queue wait",
                                        doc["queue_wait_seconds"]))
+        if doc.get("supersede_latency_seconds", {}).get("count"):
+            print()
+            print(render_latency_histogram(
+                "supersede latency (analytical -> exact)",
+                doc["supersede_latency_seconds"]))
         for scheme, hist in doc.get("sim_latency_seconds", {}).items():
             print()
             print(render_latency_histogram(f"sim latency [{scheme}]", hist))
@@ -664,13 +731,15 @@ def cmd_submit(args) -> int:
                             scale=args.scale, seed=args.seed,
                             max_cycles=args.max_cycles,
                             priority=args.priority,
-                            non_blocking=args.non_blocking)
+                            non_blocking=args.non_blocking,
+                            predict=args.predict)
     elif cmd == "sweep":
         body = sweep_request(
             [a.strip() for a in args.apps.split(",") if a.strip()],
             [s.strip() for s in args.schemes.split(",") if s.strip()],
             sms=args.sms, scale=args.scale, seed=args.seed,
             priority=args.priority, non_blocking=args.non_blocking,
+            predict=args.predict,
         )
     else:  # replay
         body = replay_request(
@@ -678,6 +747,7 @@ def cmd_submit(args) -> int:
             [s.strip() for s in args.schemes.split(",") if s.strip()],
             sms=args.sms, scale=args.scale, seed=args.seed,
             priority=args.priority, non_blocking=args.non_blocking,
+            predict=args.predict,
         )
     job = client.submit(body)
     print(f"submitted {job['id']} ({job['kind']}, {job['units']} units, "
@@ -696,6 +766,55 @@ def cmd_submit(args) -> int:
                   file=sys.stderr)
         return 1
     print(_render_job(doc))
+    return 0
+
+
+def cmd_predict(args) -> int:
+    from repro.predict import PredictSweepExecutor
+
+    apps = ALL_APPS if args.apps == "all" else [
+        a.strip().upper() for a in args.apps.split(",") if a.strip()
+    ]
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    for scheme in schemes:
+        if scheme not in SCHEME_LABELS:
+            raise ValueError(
+                f"unknown scheme {scheme!r}; expected one of {sorted(SCHEME_LABELS)}"
+            )
+    kwargs = {"trace_dir": args.trace_dir}
+    if args.raw:
+        kwargs["calibration"] = None
+    executor = PredictSweepExecutor(**kwargs)
+    results = executor.run_sweep(
+        apps, schemes, num_sms=args.sms, scale=args.scale, seed=args.seed
+    )
+    rows = []
+    for app, per_scheme in results.items():
+        for scheme, p in per_scheme.items():
+            err = p.error or {}
+            rows.append((
+                app,
+                SCHEME_LABELS[scheme],
+                f"{p.miss_rate:.4f}",
+                (f"{err['mean_abs']:.4f}/{err['max_abs']:.4f}"
+                 if "mean_abs" in err else "-"),
+                f"{p.hit_rate:.3f}",
+                f"{p.ipc:.4g}" if p.ipc is not None else "-",
+            ))
+    print(ascii_table(
+        ["App", "Scheme", "Miss rate", "±err mean/max", "Hit rate", "IPC"],
+        rows,
+        title=f"analytical predictions: {len(apps)} apps x "
+              f"{len(schemes)} schemes ({args.sms} SMs, "
+              f"scale {args.scale:g}"
+              + (", raw model" if args.raw else ", calibrated") + ")",
+    ))
+    st = executor.stats
+    print(
+        f"\npredict: profiled {st.profiled} streams "
+        f"({st.profile_hits} profile cache hits), "
+        f"{st.predicted} analytical answers — no cache was stepped"
+    )
     return 0
 
 
@@ -751,6 +870,27 @@ def cmd_trace(args) -> int:
         info = reader.info()
         rows = [(k, str(v)) for k, v in info.items()]
         print(ascii_table(["field", "value"], rows, title=str(args.trace)))
+        if args.rdd:
+            from repro.predict import profile_trace
+
+            profile = profile_trace(reader)
+            print()
+            print(stacked_percent_rows(
+                ["overall"], [profile.rdd.fractions()], RD_LABELS,
+                title=f"reuse-distance distribution "
+                      f"({profile.rdd.total} reuses, "
+                      f"{profile.compulsory} compulsory)",
+            ))
+            per_insn = sorted(profile.insn_rdd.items())
+            if per_insn:
+                print()
+                print(stacked_percent_rows(
+                    [f"insn={insn:#04x} ({hist.total})"
+                     for insn, hist in per_insn],
+                    [hist.fractions() for _insn, hist in per_insn],
+                    RD_LABELS,
+                    title="per-instruction RDDs (hashed instruction IDs)",
+                ))
         return 0
 
     if args.trace_command == "import":
@@ -915,6 +1055,7 @@ _COMMANDS = {
     "store": cmd_store,
     "serve": cmd_serve,
     "submit": cmd_submit,
+    "predict": cmd_predict,
     "profile": cmd_profile,
     "trace": cmd_trace,
     "check": cmd_check,

@@ -1,0 +1,403 @@
+"""Calibration: pins the analytical model to the exact engines.
+
+The raw model carries small systematic biases (stack-inclusion breaks
+under write-evicts, window boundaries blur, protection side effects are
+first-order).  A :class:`Calibration` owns
+
+* a per-scheme **affine miss-rate correction** fit by least squares
+  against exact fast-engine replays over the registry grid, and the
+  **residuals** of that fit — the error bars attached to every
+  calibrated :class:`~repro.predict.model.Prediction`;
+* per-scheme **IPC cycle-model coefficients**: a linear model of
+  simulated cycles over per-SM workload rates (instructions, reads,
+  predicted misses/bypasses, writes), fit against the timing simulator.
+  IPC = static instruction count / modelled cycles.
+
+The shipped table (``calibration.json`` next to this module) was fit at
+the harness operating point (``scale=0.25``, 2 SMs, seed 0) over all
+registry apps; :func:`fit_calibration` rebuilds it for any other grid.
+Everything round-trips through plain JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.predict.model import (
+    IPC_FEATURES, PREDICTABLE_SCHEMES, Prediction, predict,
+)
+from repro.predict.profile import (
+    PredictProfile, profile_records, workload_insns,
+)
+
+#: The packaged default table.
+DEFAULT_CALIBRATION_PATH = Path(__file__).with_name("calibration.json")
+
+#: The paper's policy grid (what the envelope validates).
+ENVELOPE_SCHEMES = ("baseline", "stall_bypass", "global_protection", "dlp")
+
+
+@dataclass
+class SchemeCalibration:
+    """Affine miss-rate correction + residual envelope for one scheme."""
+
+    slope: float = 1.0
+    intercept: float = 0.0
+    mean_abs_err: float = 0.0
+    max_abs_err: float = 0.0
+    cells: int = 0
+
+    def correct(self, miss_rate: float) -> float:
+        return max(0.0, min(1.0, self.slope * miss_rate + self.intercept))
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "slope": self.slope, "intercept": self.intercept,
+            "mean_abs_err": self.mean_abs_err,
+            "max_abs_err": self.max_abs_err, "cells": self.cells,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "SchemeCalibration":
+        return cls(
+            slope=float(data["slope"]), intercept=float(data["intercept"]),
+            mean_abs_err=float(data["mean_abs_err"]),
+            max_abs_err=float(data["max_abs_err"]), cells=int(data["cells"]),
+        )
+
+
+@dataclass
+class Calibration:
+    """Per-scheme corrections + IPC coefficients, JSON round-trippable."""
+
+    schemes: Dict[str, SchemeCalibration] = field(default_factory=dict)
+    #: scheme -> {"intercept": c0, "<feature>": c, ...} cycle model.
+    ipc_coeffs: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def for_scheme(self, scheme: str) -> Optional[SchemeCalibration]:
+        return self.schemes.get(scheme)
+
+    def apply(self, prediction: Prediction) -> Prediction:
+        """Correct a raw prediction in place and attach its error bars."""
+        cal = self.schemes.get(prediction.scheme)
+        if cal is None:
+            return prediction
+        corrected = cal.correct(prediction.miss_rate)
+        serviced = max(0.0, prediction.reads - prediction.bypasses)
+        prediction.miss_rate = corrected
+        prediction.hit_rate = 1.0 - corrected
+        prediction.misses = corrected * serviced
+        prediction.hits = serviced - prediction.misses
+        prediction.error = {
+            "mean_abs": cal.mean_abs_err, "max_abs": cal.max_abs_err,
+        }
+        if "ipc_mean_rel_err" in self.meta:
+            prediction.error["ipc_mean_rel"] = float(
+                self.meta["ipc_mean_rel_err"])
+            prediction.error["ipc_max_rel"] = float(
+                self.meta["ipc_max_rel_err"])
+        prediction.calibrated = True
+        return prediction
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schemes": {k: v.to_dict() for k, v in sorted(self.schemes.items())},
+            "ipc_coeffs": {
+                k: {f: float(c) for f, c in sorted(v.items())}
+                for k, v in sorted(self.ipc_coeffs.items())
+            },
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Calibration":
+        return cls(
+            schemes={
+                k: SchemeCalibration.from_dict(v)
+                for k, v in data.get("schemes", {}).items()
+            },
+            ipc_coeffs={
+                k: {f: float(c) for f, c in v.items()}
+                for k, v in data.get("ipc_coeffs", {}).items()
+            },
+            meta=dict(data.get("meta", {})),
+        )
+
+    def save(self, path: Path) -> None:
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True)
+                        + "\n")
+
+    @classmethod
+    def load(cls, path: Optional[Path] = None) -> "Calibration":
+        return cls.from_dict(
+            json.loads((path or DEFAULT_CALIBRATION_PATH).read_text()))
+
+
+_default_calibration: Optional[Calibration] = None
+
+
+def default_calibration() -> Optional[Calibration]:
+    """The packaged table, cached; ``None`` if not shipped."""
+    global _default_calibration
+    if _default_calibration is None and DEFAULT_CALIBRATION_PATH.exists():
+        _default_calibration = Calibration.load()
+    return _default_calibration
+
+
+# ----------------------------------------------------------------------
+# fitting
+# ----------------------------------------------------------------------
+
+
+def _affine_fit(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares y ~= slope*x + intercept (identity on degenerate x)."""
+    n = len(xs)
+    if n < 2:
+        return 1.0, (ys[0] - xs[0]) if n else 0.0
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    sxx = sum((x - mx) ** 2 for x in xs)
+    if sxx < 1e-12:
+        return 1.0, my - mx
+    slope = sum((x - mx) * (y - my) for x, y in zip(xs, ys)) / sxx
+    return slope, my - slope * mx
+
+
+def _lstsq(rows: List[List[float]], ys: List[float]) -> Optional[List[float]]:
+    """Ordinary least squares via normal equations + Gaussian elimination
+    (ridge-damped for stability); ``None`` if the system is singular."""
+    if not rows:
+        return None
+    k = len(rows[0])
+    ata = [[sum(r[i] * r[j] for r in rows) for j in range(k)] for i in range(k)]
+    aty = [sum(r[i] * y for r, y in zip(rows, ys)) for i in range(k)]
+    for i in range(k):
+        ata[i][i] += 1e-9 * (1.0 + abs(ata[i][i]))
+    # Gaussian elimination with partial pivoting.
+    for col in range(k):
+        pivot = max(range(col, k), key=lambda r: abs(ata[r][col]))
+        if abs(ata[pivot][col]) < 1e-12:
+            return None
+        ata[col], ata[pivot] = ata[pivot], ata[col]
+        aty[col], aty[pivot] = aty[pivot], aty[col]
+        inv = 1.0 / ata[col][col]
+        for row in range(col + 1, k):
+            factor = ata[row][col] * inv
+            if factor == 0.0:
+                continue
+            for j in range(col, k):
+                ata[row][j] -= factor * ata[col][j]
+            aty[row] -= factor * aty[col]
+    coeffs = [0.0] * k
+    for row in range(k - 1, -1, -1):
+        acc = aty[row] - sum(
+            ata[row][j] * coeffs[j] for j in range(row + 1, k))
+        coeffs[row] = acc / ata[row][row]
+    return coeffs
+
+
+def _exact_miss_rate(records, config, scheme: str, engine: str = "fast") -> float:
+    from repro.trace.replay import replay_records
+
+    result = replay_records(iter(records), config, scheme, engine=engine)
+    return 1.0 - result.l1d.hit_rate
+
+
+def fit_calibration(apps: Optional[Iterable[str]] = None,
+                    config=None, scale: float = 0.25, seed: int = 0,
+                    schemes: Sequence[str] = ENVELOPE_SCHEMES,
+                    fit_ipc: bool = True,
+                    progress=None) -> Calibration:
+    """Fit a fresh calibration against the exact engines.
+
+    Runs one capture + profile per app, one fast-engine functional
+    replay per (app, scheme) for the miss-rate fit, and — when
+    ``fit_ipc`` — one *timing* simulation per (app, scheme) for the
+    cycle model (the expensive part; minutes, not seconds).
+    """
+    from repro.experiments.runner import harness_config, run_workload
+    from repro.trace.record import capture_records
+    from repro.workloads import ALL_APPS, make_workload
+
+    config = config or harness_config(2)
+    apps = list(apps) if apps is not None else list(ALL_APPS)
+
+    raw: Dict[str, List[Tuple[str, float, float, Prediction]]] = {
+        s: [] for s in schemes
+    }
+    profiles: Dict[str, PredictProfile] = {}
+    for app in apps:
+        if progress:
+            progress(f"profiling {app}")
+        workload = make_workload(app, scale, seed=seed)
+        records = [tuple(r) for r in capture_records(workload, config)]
+        profile = profile_records(records, config)
+        profile.insns = workload_insns(workload)
+        profile.meta.update({"source": "registry", "abbr": app.upper(),
+                             "scale": scale, "seed": seed})
+        profiles[app] = profile
+        for scheme in schemes:
+            exact = _exact_miss_rate(records, config, scheme)
+            prediction = predict(profile, scheme, config)
+            raw[scheme].append((app, prediction.miss_rate, exact, prediction))
+
+    calibration = Calibration(meta={
+        "apps": list(apps), "scale": scale, "seed": seed,
+        "num_sms": config.num_sms, "schemes": list(schemes),
+        "exact_tier": "fast-engine functional replay",
+    })
+    for scheme in schemes:
+        cells = raw[scheme]
+        xs = [r[1] for r in cells]
+        ys = [r[2] for r in cells]
+        slope, intercept = _affine_fit(xs, ys)
+        scheme_cal = SchemeCalibration(slope=slope, intercept=intercept)
+        residuals = [abs(scheme_cal.correct(x) - y) for x, y in zip(xs, ys)]
+        scheme_cal.mean_abs_err = sum(residuals) / len(residuals)
+        scheme_cal.max_abs_err = max(residuals)
+        scheme_cal.cells = len(residuals)
+        calibration.schemes[scheme] = scheme_cal
+
+    if fit_ipc:
+        _fit_ipc_coeffs(calibration, profiles, raw, config, scale, seed,
+                        schemes, progress)
+    return calibration
+
+
+def _fit_ipc_coeffs(calibration: Calibration,
+                    profiles: Dict[str, PredictProfile],
+                    raw, config, scale: float, seed: int,
+                    schemes: Sequence[str], progress) -> None:
+    """Fit the per-scheme CPI model against timing simulations.
+
+    CPI (cycles per per-SM thread instruction) is regressed on
+    per-instruction memory rates, with each sample weighted by 1/CPI so
+    the fit minimizes *relative* error — a latency-bound kernel and a
+    dense compute kernel then count equally.
+    """
+    from repro.experiments.runner import run_workload
+
+    ipc_errs: List[float] = []
+    for scheme in schemes:
+        rows: List[List[float]] = []
+        ys: List[float] = []
+        observed: List[Tuple[str, float]] = []
+        for app, _raw_mr, _exact_mr, prediction in raw[scheme]:
+            if progress:
+                progress(f"timing {app}/{scheme}")
+            profile = profiles[app]
+            if not profile.insns:
+                continue
+            result = run_workload(app, scheme, config, scale=scale, seed=seed)
+            sms = max(1, profile.num_sms or 1)
+            # The CPI model sees the *calibrated* miss/bypass estimate
+            # it will be fed at serve time.
+            cal_pred = calibration.apply(Prediction(
+                scheme=prediction.scheme, reads=prediction.reads,
+                hits=prediction.hits, misses=prediction.misses,
+                bypasses=prediction.bypasses,
+                compulsory=prediction.compulsory,
+                miss_rate=prediction.miss_rate,
+                hit_rate=prediction.hit_rate))
+            insns = float(profile.insns)
+            rates = {
+                "reads": profile.reads / insns,
+                "misses": cal_pred.misses / insns,
+                "bypasses": cal_pred.bypasses / insns,
+                "writes": profile.writes / insns,
+            }
+            rows.append([1.0] + [rates[f] for f in IPC_FEATURES])
+            ys.append(result.cycles / (insns / sms))
+            observed.append((app, result.ipc, sms))
+        weighted = [[v / y for v in row] for row, y in zip(rows, ys)]
+        coeffs = _lstsq(weighted, [1.0] * len(ys))
+        if coeffs is None:
+            continue
+        table = {"intercept": coeffs[0]}
+        table.update({f: c for f, c in zip(IPC_FEATURES, coeffs[1:])})
+        calibration.ipc_coeffs[scheme] = table
+        for (app, exact_ipc, sms), row in zip(observed, rows):
+            cpi = coeffs[0] + sum(
+                c * v for c, v in zip(coeffs[1:], row[1:]))
+            if cpi > 0 and exact_ipc > 0:
+                ipc_errs.append(abs(sms / cpi - exact_ipc) / exact_ipc)
+    if ipc_errs:
+        calibration.meta["ipc_mean_rel_err"] = sum(ipc_errs) / len(ipc_errs)
+        calibration.meta["ipc_max_rel_err"] = max(ipc_errs)
+
+
+# ----------------------------------------------------------------------
+# the committed error envelope
+# ----------------------------------------------------------------------
+
+
+def build_envelope(calibration: Optional[Calibration] = None,
+                   apps: Optional[Iterable[str]] = None,
+                   config=None, scale: float = 0.25, seed: int = 0,
+                   schemes: Sequence[str] = ENVELOPE_SCHEMES,
+                   progress=None) -> Dict[str, object]:
+    """Measure the calibrated predictor against the exact tier per cell.
+
+    The result is the pinned ``tests/golden/predict_envelope.json``
+    document: per-cell exact/predicted miss rates and per-scheme
+    mean/max absolute error.
+    """
+    from repro.experiments.runner import harness_config
+    from repro.trace.record import capture_records
+    from repro.workloads import ALL_APPS, make_workload
+
+    config = config or harness_config(2)
+    apps = list(apps) if apps is not None else list(ALL_APPS)
+    calibration = calibration or default_calibration()
+
+    cells: List[Dict[str, object]] = []
+    per_scheme: Dict[str, List[float]] = {s: [] for s in schemes}
+    for app in apps:
+        if progress:
+            progress(f"validating {app}")
+        workload = make_workload(app, scale, seed=seed)
+        records = [tuple(r) for r in capture_records(workload, config)]
+        profile = profile_records(records, config)
+        profile.insns = workload_insns(workload)
+        for scheme in schemes:
+            exact = _exact_miss_rate(records, config, scheme)
+            prediction = predict(profile, scheme, config,
+                                 calibration=calibration)
+            err = abs(prediction.miss_rate - exact)
+            per_scheme[scheme].append(err)
+            cells.append({
+                "app": app, "scheme": scheme,
+                "exact_miss_rate": round(exact, 6),
+                "predicted_miss_rate": round(prediction.miss_rate, 6),
+                "abs_err": round(err, 6),
+            })
+    summary = {
+        scheme: {
+            "mean_abs_err": round(sum(errs) / len(errs), 6),
+            "max_abs_err": round(max(errs), 6),
+            "cells": len(errs),
+        }
+        for scheme, errs in per_scheme.items() if errs
+    }
+    all_errs = [e for errs in per_scheme.values() for e in errs]
+    return {
+        "meta": {
+            "apps": list(apps), "scale": scale, "seed": seed,
+            "num_sms": config.num_sms, "schemes": list(schemes),
+            "exact_tier": "fast-engine functional replay",
+            "calibrated": calibration is not None,
+        },
+        "summary": summary,
+        "overall": {
+            "mean_abs_err": round(sum(all_errs) / len(all_errs), 6),
+            "max_abs_err": round(max(all_errs), 6),
+            "cells": len(all_errs),
+        },
+        "cells": cells,
+    }

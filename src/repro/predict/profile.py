@@ -1,0 +1,418 @@
+"""Reuse profiles for analytical prediction (the predictor's input).
+
+The predictor needs more than the paper's four-bucket RDD: for every
+read reuse it records the pair
+
+* ``sd`` — the LRU *stack position* of the line at re-reference time
+  (the number of distinct lines touched in the set since the previous
+  touch).  Under pure LRU the reuse hits iff ``sd < assoc``, for *any*
+  associativity — one profiling pass answers every cache size (Mattson's
+  classic stack algorithm).
+* ``rd`` — the paper's access-counter reuse distance *including writes*
+  (a store runs the set query too), which is exactly the clock that
+  decays a line's Protected Life.  A line granted ``PL = p`` at its last
+  touch is guaranteed resident iff ``rd <= p``, regardless of its stack
+  position — which is how protection rescues reuses LRU would lose.
+
+Counts are kept per **epoch** (a fixed slice of the merged access
+stream, at most :data:`NUM_EPOCHS` per profile) because the protection
+schemes *learn*: whether a sampling window raises the Protection
+Distance depends on the VTA traffic of that window, and reuse behaviour
+is strongly phased in real streams.  A temporally flat profile makes
+the Figure 9 emulation learn from reuses that are long gone.
+
+Reuses are attributed to the hashed instruction ID of the *previous*
+toucher (:func:`repro.utils.hashing.hash_pc`) — the same convention the
+DLP hardware uses for its TDA/VTA hit counters, PDPT collisions
+included.  Stores are modelled as the cache models them (write-through,
+write-evict): a written block's next read can never hit, and the write
+removes the block from the stack.
+
+A :class:`PredictProfile` is a plain JSON document, so profiles cache
+per trace key and travel through the serve worker pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.reuse import RddHistogram
+from repro.cache.tagarray import CacheGeometry
+from repro.gpu.config import GPUConfig
+from repro.gpu.isa import ComputeOp
+from repro.utils.hashing import hash_pc
+
+#: Stack positions are exact up to this depth; anything deeper lands in
+#: the tail.  Deep enough for the largest modelled geometry (64 KB =
+#: 16 ways) plus a full VTA window behind it.
+SD_CAP = 48
+#: Counter distances are exact up to this value; protection can rescue a
+#: reuse only while ``rd <= pl_max`` (15 at the paper's 4 PD bits, 31 at
+#: the widest ablation), so the tail is never protectable.
+RD_CAP = 32
+#: Sentinel for "beyond the cap" (kept JSON-round-trippable).
+TAIL = -1
+#: Temporal resolution of a profile (upper bound on epochs kept).
+NUM_EPOCHS = 64
+
+
+def _cap(value: int, cap: int) -> int:
+    return value if value <= cap else TAIL
+
+
+@dataclass
+class EpochCounts:
+    """One stream slice: reuse pairs plus the window-rate denominators."""
+
+    accesses: int = 0
+    reads: int = 0
+    writes: int = 0
+    compulsory: int = 0
+    #: write-evicted reuses (a store invalidated the line in between —
+    #: misses at any associativity).
+    write_evicted: int = 0
+    #: ``joint[insn][(sd, rd)]`` -> count of live read reuses.
+    joint: Dict[int, Dict[Tuple[int, int], int]] = field(default_factory=dict)
+
+    def add_reuse(self, insn: int, sd: int, rd: int) -> None:
+        pairs = self.joint.setdefault(insn, {})
+        key = (sd, rd)
+        pairs[key] = pairs.get(key, 0) + 1
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "accesses": self.accesses,
+            "reads": self.reads,
+            "writes": self.writes,
+            "compulsory": self.compulsory,
+            "write_evicted": self.write_evicted,
+            "joint": {
+                str(insn): [[sd, rd, n] for (sd, rd), n in sorted(pairs.items())]
+                for insn, pairs in sorted(self.joint.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "EpochCounts":
+        epoch = cls(
+            accesses=int(data["accesses"]), reads=int(data["reads"]),
+            writes=int(data["writes"]), compulsory=int(data["compulsory"]),
+            write_evicted=int(data["write_evicted"]),
+        )
+        for insn, triples in data["joint"].items():
+            pairs = epoch.joint.setdefault(int(insn), {})
+            for sd, rd, n in triples:
+                pairs[(int(sd), int(rd))] = int(n)
+        return epoch
+
+    def merge(self, other: "EpochCounts") -> None:
+        self.accesses += other.accesses
+        self.reads += other.reads
+        self.writes += other.writes
+        self.compulsory += other.compulsory
+        self.write_evicted += other.write_evicted
+        for insn, pairs in other.joint.items():
+            mine = self.joint.setdefault(insn, {})
+            for key, n in pairs.items():
+                mine[key] = mine.get(key, 0) + n
+
+
+@dataclass
+class PredictProfile:
+    """Everything the analytical model needs, and nothing else."""
+
+    num_sets: int = 32
+    line_size: int = 128
+    index_fn: str = "hash"
+    num_sms: int = 0
+    epochs: List[EpochCounts] = field(default_factory=list)
+    #: The paper's Fig. 3 RDD over read-only counter distances (the
+    #: reporting convention of :mod:`repro.analysis.reuse`).
+    rdd: RddHistogram = field(default_factory=RddHistogram)
+    #: Fig. 7-style per-instruction RDDs (same read-only distances,
+    #: keyed by the hashed previous-toucher instruction ID).
+    insn_rdd: Dict[int, RddHistogram] = field(default_factory=dict)
+    #: Per-instruction write-evicted reuse counts (whole stream).
+    write_evicted: Dict[int, int] = field(default_factory=dict)
+    #: Static thread-instruction count (workload sources only; traces
+    #: carry no instruction stream, so this stays ``None`` for them).
+    insns: Optional[int] = None
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    # -- totals --------------------------------------------------------
+
+    @property
+    def accesses(self) -> int:
+        return sum(e.accesses for e in self.epochs)
+
+    @property
+    def reads(self) -> int:
+        return sum(e.reads for e in self.epochs)
+
+    @property
+    def writes(self) -> int:
+        return sum(e.writes for e in self.epochs)
+
+    @property
+    def compulsory(self) -> int:
+        return sum(e.compulsory for e in self.epochs)
+
+    @property
+    def reuses(self) -> int:
+        return sum(
+            sum(pairs.values())
+            for e in self.epochs for pairs in e.joint.values()
+        ) + sum(e.write_evicted for e in self.epochs)
+
+    def merged(self) -> EpochCounts:
+        """All epochs collapsed into one (temporally flat view)."""
+        total = EpochCounts()
+        for epoch in self.epochs:
+            total.merge(epoch)
+        return total
+
+    def geometry_key(self) -> Tuple[int, int, str]:
+        return (self.num_sets, self.line_size, self.index_fn)
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "num_sets": self.num_sets,
+            "line_size": self.line_size,
+            "index_fn": self.index_fn,
+            "num_sms": self.num_sms,
+            "epochs": [e.to_dict() for e in self.epochs],
+            "rdd": list(self.rdd.counts),
+            "insn_rdd": {
+                str(insn): list(hist.counts)
+                for insn, hist in sorted(self.insn_rdd.items())
+            },
+            "write_evicted": {
+                str(insn): n for insn, n in sorted(self.write_evicted.items())
+            },
+            "insns": self.insns,
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PredictProfile":
+        profile = cls(
+            num_sets=int(data["num_sets"]),
+            line_size=int(data["line_size"]),
+            index_fn=str(data["index_fn"]),
+            num_sms=int(data["num_sms"]),
+            epochs=[EpochCounts.from_dict(e) for e in data["epochs"]],
+            insns=None if data.get("insns") is None else int(data["insns"]),
+            meta=dict(data.get("meta", {})),
+        )
+        profile.rdd = RddHistogram([int(c) for c in data["rdd"]])
+        for insn, counts in data.get("insn_rdd", {}).items():
+            profile.insn_rdd[int(insn)] = \
+                RddHistogram([int(c) for c in counts])
+        for insn, n in data["write_evicted"].items():
+            profile.write_evicted[int(insn)] = int(n)
+        return profile
+
+
+class PredictProfiler:
+    """One pass over an access stream, per-SM state, merged output.
+
+    ``expected_per_sm`` maps SM id to that stream's record count and
+    sizes the epochs: a record's epoch is its *fractional position in
+    its own SM's stream*, so SM streams line up phase-by-phase whether
+    the source interleaves them (live capture) or concatenates them
+    (``TraceReader``).  Without the hint the whole stream lands in one
+    epoch (temporally flat — fine for short synthetic streams, lossy
+    for phased applications).
+    """
+
+    def __init__(self, config: GPUConfig,
+                 expected_per_sm: Optional[Dict[int, int]] = None) -> None:
+        l1 = config.l1d
+        self.geometry = CacheGeometry(
+            num_sets=l1.num_sets, assoc=l1.assoc,
+            line_size=l1.line_size, index_fn=l1.index_fn,
+        )
+        self.profile = PredictProfile(
+            num_sets=l1.num_sets, line_size=l1.line_size,
+            index_fn=l1.index_fn, num_sms=config.num_sms,
+        )
+        self._expected_per_sm = expected_per_sm
+        self._insn_ids: Dict[int, int] = {}
+        # per SM: stacks[set] = blocks MRU->LRU; counters[set] = set
+        # queries so far; read_ctr[set] = reads only (reporting RDD);
+        # last[set][block] = (insn, counter, read_counter, written);
+        # seen = records consumed from this SM's stream (epoch clock)
+        self._sms: Dict[int, tuple] = {}
+        self._seen: Dict[int, int] = {}
+
+    # -- internals -----------------------------------------------------
+
+    def _epoch(self, sm_id: int) -> EpochCounts:
+        if not self._expected_per_sm:
+            index = 0
+        else:
+            expected = self._expected_per_sm.get(sm_id, 0)
+            if expected <= 0:
+                index = 0
+            else:
+                index = min(NUM_EPOCHS - 1,
+                            self._seen[sm_id] * NUM_EPOCHS // expected)
+        epochs = self.profile.epochs
+        while len(epochs) <= index:
+            epochs.append(EpochCounts())
+        return epochs[index]
+
+    def _sm_state(self, sm_id: int):
+        state = self._sms.get(sm_id)
+        if state is None:
+            nsets = self.geometry.num_sets
+            state = self._sms[sm_id] = (
+                [[] for _ in range(nsets)],        # stacks
+                [0] * nsets,                        # set-query counters
+                [0] * nsets,                        # read-only counters
+                [dict() for _ in range(nsets)],     # last-touch info
+            )
+            self._seen[sm_id] = 0
+        return state
+
+    def _insn(self, pc: int) -> int:
+        cached = self._insn_ids.get(pc)
+        if cached is None:
+            cached = self._insn_ids[pc] = hash_pc(pc)
+        return cached
+
+    # -- observation ---------------------------------------------------
+
+    def observe(self, sm_id: int, block_addr: int, pc: int,
+                is_write: bool) -> None:
+        profile = self.profile
+        stacks, counters, read_ctrs, lasts = self._sm_state(sm_id)
+        epoch = self._epoch(sm_id)
+        self._seen[sm_id] += 1
+        set_idx = self.geometry.set_index(block_addr)
+        stack = stacks[set_idx]
+        last = lasts[set_idx]
+        counters[set_idx] += 1
+        epoch.accesses += 1
+
+        if is_write:
+            epoch.writes += 1
+            prev = last.get(block_addr)
+            if prev is not None:
+                last[block_addr] = (prev[0], prev[1], prev[2], True)
+            try:
+                stack.remove(block_addr)
+            except ValueError:
+                pass
+            return
+
+        epoch.reads += 1
+        read_ctrs[set_idx] += 1
+        counter = counters[set_idx]
+        read_counter = read_ctrs[set_idx]
+        insn = self._insn(pc)
+        prev = last.get(block_addr)
+        last[block_addr] = (insn, counter, read_counter, False)
+
+        if prev is None:
+            epoch.compulsory += 1
+            stack.insert(0, block_addr)
+            return
+
+        prev_insn, prev_counter, prev_read_counter, written = prev
+        read_rd = read_counter - prev_read_counter
+        profile.rdd.add(read_rd)
+        insn_hist = profile.insn_rdd.get(prev_insn)
+        if insn_hist is None:
+            insn_hist = profile.insn_rdd[prev_insn] = RddHistogram()
+        insn_hist.add(read_rd)
+        if written:
+            epoch.write_evicted += 1
+            profile.write_evicted[prev_insn] = (
+                profile.write_evicted.get(prev_insn, 0) + 1
+            )
+            stack.insert(0, block_addr)
+            return
+
+        rd = counter - prev_counter
+        try:
+            pos = stack.index(block_addr)
+            del stack[pos]
+        except ValueError:  # pragma: no cover - unwritten blocks stay
+            pos = SD_CAP + 1
+        stack.insert(0, block_addr)
+        epoch.add_reuse(prev_insn, _cap(pos, SD_CAP), _cap(rd, RD_CAP))
+
+
+def profile_records(records: Sequence, config: GPUConfig) -> PredictProfile:
+    """Profile an in-memory record stream (``TraceRecord`` tuples)."""
+    expected: Optional[Dict[int, int]] = None
+    if hasattr(records, "__len__"):
+        expected = {}
+        for record in records:
+            expected[record[0]] = expected.get(record[0], 0) + 1
+    profiler = PredictProfiler(config, expected_per_sm=expected)
+    for record in records:
+        profiler.observe(record[0], record[1], record[2], bool(record[3]))
+    return profiler.profile
+
+
+def profile_trace(reader, config: Optional[GPUConfig] = None) -> PredictProfile:
+    """Profile a recorded ``.rptr`` trace.
+
+    The trace header fixes the stream's own geometry (SM count, line
+    size); ``config`` only overrides the *modelled* L1D geometry and
+    must agree on the line size.
+    """
+    from repro.trace.format import TraceFormatError
+
+    if config is None:
+        config = GPUConfig().scaled(reader.num_sms)
+    if reader.line_size != config.l1d.line_size:
+        raise TraceFormatError(
+            f"trace line size {reader.line_size} != config line size "
+            f"{config.l1d.line_size}"
+        )
+    expected = {sm: count
+                for sm, count in enumerate(reader.records_per_sm)}
+    profiler = PredictProfiler(config, expected_per_sm=expected)
+    for record in reader:
+        profiler.observe(record[0], record[1], record[2], bool(record[3]))
+    profile = profiler.profile
+    profile.num_sms = reader.num_sms
+    profile.meta.update(reader.meta)
+    return profile
+
+
+def profile_workload(abbr: str, config: GPUConfig, scale: float = 1.0,
+                     seed: int = 0) -> PredictProfile:
+    """Capture + profile a registered workload (no trace file needed)."""
+    from repro.trace.record import capture_records
+    from repro.workloads import make_workload
+
+    workload = make_workload(abbr, scale, seed=seed)
+    records = capture_records(workload, config)
+    profile = profile_records(records, config)
+    profile.insns = workload_insns(workload)
+    profile.meta.update({
+        "source": "registry", "abbr": abbr.upper(),
+        "scale": scale, "seed": seed,
+    })
+    return profile
+
+
+def workload_insns(workload) -> int:
+    """Static thread-instruction count of a workload — the numerator of
+    IPC — summed over every warp trace without stepping the simulator."""
+    total = 0
+    for kernel in workload.kernels():
+        for warp_ops in kernel.all_traces():
+            for op in warp_ops:
+                if isinstance(op, ComputeOp):
+                    total += op.count * 32
+                else:
+                    total += op.active_lanes
+    return total

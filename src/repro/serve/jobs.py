@@ -14,7 +14,11 @@ Worker entry points:
   directly (same function the sweep executor ships to its pool);
 * replay units run :func:`replay_unit`, which captures the workload's
   access stream (record-once through an optional shared trace
-  directory, atomically published) and drives the replay engine.
+  directory, atomically published) and drives the replay engine;
+* tier-0 analytical answers come from :func:`predict_unit`, which keeps
+  one profile-caching :class:`~repro.predict.executor.
+  PredictSweepExecutor` alive per worker process, so repeat predictions
+  for the same stream skip straight to the closed-form model.
 """
 
 from __future__ import annotations
@@ -145,3 +149,36 @@ def replay_unit(spec: Dict[str, Any],
         result = replay_records(iter(records), replay_config, scheme,
                                 engine=engine, **kwargs)
     return result.to_dict()
+
+
+#: Per-process predictor cache, keyed by trace directory: worker
+#: processes are long-lived, so every prediction after the first for a
+#: given stream reuses its profile instead of re-capturing.
+_PREDICTORS: Dict[Optional[str], Any] = {}
+
+
+def predict_unit(spec: Dict[str, Any],
+                 trace_dir: Optional[str] = None) -> Dict[str, Any]:
+    """Answer one ``(app, scheme)`` cell analytically (tier-0).
+
+    Returns :meth:`repro.predict.model.Prediction.to_dict` — flagged
+    ``tier: "analytical"`` and carrying the calibration's error bars —
+    never the store's exact-result shape.  With a ``trace_dir``, a
+    stream already recorded for the replay tier is profiled from its
+    trace instead of re-captured.
+    """
+    from repro.predict import PredictSweepExecutor
+
+    executor = _PREDICTORS.get(trace_dir)
+    if executor is None:
+        executor = _PREDICTORS[trace_dir] = \
+            PredictSweepExecutor(trace_dir=trace_dir)
+    prediction = executor.run_cell(
+        spec["abbr"],
+        spec["scheme"],
+        num_sms=spec["num_sms"],
+        scale=spec["scale"],
+        seed=spec["seed"],
+        **dict(spec["policy_kwargs"]),
+    )
+    return prediction.to_dict()

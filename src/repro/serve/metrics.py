@@ -6,6 +6,9 @@ scheduler as it admits, coalesces, resolves and executes units:
 * job lifecycle counters (submitted / done / failed / cancelled),
 * cell accounting (requested, coalesced onto an in-flight execution,
   served warm from the store, simulated cold, failed),
+* tier-0 accounting (analytical answers returned, background exact
+  refinements queued, and the superseded-answer latency histogram:
+  analytical answer -> exact result stored),
 * a queue-wait histogram (enqueue -> worker pickup), and
 * per-policy simulation-latency histograms.
 
@@ -78,8 +81,16 @@ class ServeMetrics:
     cells_simulated: int = 0        # executed cold on a worker
     cells_failed: int = 0
 
+    # tier-0 analytical serving (``predict: true`` jobs)
+    predict_answers: int = 0        # analytical answers returned
+    refinements: int = 0            # background exact refinements queued
+
     queue_wait: LatencyHistogram = field(default_factory=LatencyHistogram)
     sim_latency: Dict[str, LatencyHistogram] = field(default_factory=dict)
+    #: Analytical answer returned -> exact result stored for that cell
+    #: (how long a superseded answer stays the best one available).
+    supersede_latency: LatencyHistogram = field(
+        default_factory=LatencyHistogram)
 
     def sim_latency_for(self, scheme: str) -> LatencyHistogram:
         hist = self.sim_latency.get(scheme)
@@ -118,8 +129,13 @@ class ServeMetrics:
                 "queued": queued,
                 "running": running,
             },
+            "predict": {
+                "answers_total": self.predict_answers,
+                "refinements_total": self.refinements,
+            },
             "store": dict(store_stats or {}),
             "queue_wait_seconds": self.queue_wait.snapshot(),
+            "supersede_latency_seconds": self.supersede_latency.snapshot(),
             "sim_latency_seconds": {
                 scheme: hist.snapshot()
                 for scheme, hist in sorted(self.sim_latency.items())
@@ -139,7 +155,7 @@ def render_prometheus(snapshot: Dict[str, Any]) -> str:
     def counter(name: str, value: Any, labels: str = "") -> None:
         lines.append(f"repro_serve_{name}{labels} {value}")
 
-    for group in ("jobs", "cells", "store"):
+    for group in ("jobs", "cells", "predict", "store"):
         for key, value in snapshot.get(group, {}).items():
             counter(f"{group}_{key}", value)
     counter("draining", int(bool(snapshot.get("draining"))))
@@ -157,6 +173,9 @@ def render_prometheus(snapshot: Dict[str, Any]) -> str:
         counter(f"{name}_count", hist["count"], labels)
 
     histogram("queue_wait_seconds", snapshot["queue_wait_seconds"])
+    if "supersede_latency_seconds" in snapshot:
+        histogram("supersede_latency_seconds",
+                  snapshot["supersede_latency_seconds"])
     for scheme, hist in snapshot.get("sim_latency_seconds", {}).items():
         histogram("sim_latency_seconds", hist, labels=f'{{scheme="{scheme}"}}')
     return "\n".join(lines) + "\n"

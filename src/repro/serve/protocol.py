@@ -9,6 +9,14 @@ A **job** is what a client submits; it decomposes into one or more
   apps x schemes grid (record-once semantics come from the shared
   trace directory, exactly like ``repro sweep --replay``).
 
+Any kind may additionally set ``predict: true`` (tier-0 serving): cold
+units are answered instantly from the analytical prediction tier
+(:mod:`repro.predict`), flagged ``tier: "analytical"`` with calibrated
+error bars, while the scheduler refines each one to an exact result in
+the background.  ``predict`` never changes a unit's identity or store
+key — the exact result lands under the same address it always had, and
+an analytical answer is never persisted.
+
 Units are identified by the result store's content addresses —
 :func:`repro.experiments.store.cell_key` for timing cells and
 :func:`~repro.experiments.store.replay_cell_key` for replay cells — so
@@ -38,6 +46,10 @@ from repro.workloads.registry import WORKLOADS
 #: already on a worker is never preempted mid-simulation).
 PRIORITY_INTERACTIVE = 0
 PRIORITY_BULK = 1
+#: Background refinements of analytical answers (see ``predict`` on a
+#: job body) sort behind every client-requested cell.  Scheduler
+#: internal — never a job's admission priority.
+PRIORITY_REFINE = 2
 
 PRIORITY_NAMES: Dict[str, int] = {
     "interactive": PRIORITY_INTERACTIVE,
@@ -174,13 +186,21 @@ class JobRequest:
     kind: str
     priority: int
     units: List[UnitSpec] = field(default_factory=list)
+    #: Tier-0 serving: answer every cold unit analytically (instant,
+    #: flagged ``tier: "analytical"`` with error bars) and let the
+    #: scheduler refine it to an exact result in the background.  Never
+    #: part of a unit's identity — the store keys are unchanged.
+    predict: bool = False
 
     def describe(self) -> Dict[str, Any]:
-        return {
+        doc = {
             "kind": self.kind,
             "priority": self.priority,
             "units": [u.describe() for u in self.units],
         }
+        if self.predict:
+            doc["predict"] = True
+        return doc
 
 
 # ----------------------------------------------------------------------
@@ -191,7 +211,7 @@ def cell_request(app: str, scheme: str, *, sms: int = 4, scale: float = 1.0,
                  seed: int = 0, max_cycles: Optional[int] = None,
                  priority: Optional[str] = None,
                  policy_kwargs: Optional[Mapping[str, Any]] = None,
-                 non_blocking: bool = False,
+                 non_blocking: bool = False, predict: bool = False,
                  ) -> Dict[str, Any]:
     body: Dict[str, Any] = {
         "kind": "cell", "app": app, "scheme": scheme, "sms": sms,
@@ -205,12 +225,14 @@ def cell_request(app: str, scheme: str, *, sms: int = 4, scale: float = 1.0,
         body["policy_kwargs"] = dict(policy_kwargs)
     if non_blocking:
         body["non_blocking"] = True
+    if predict:
+        body["predict"] = True
     return body
 
 
 def sweep_request(apps, schemes, *, sms: int = 4, scale: float = 1.0,
                   seed: int = 0, priority: Optional[str] = None,
-                  non_blocking: bool = False,
+                  non_blocking: bool = False, predict: bool = False,
                   ) -> Dict[str, Any]:
     body: Dict[str, Any] = {
         "kind": "sweep", "apps": list(apps), "schemes": list(schemes),
@@ -220,15 +242,18 @@ def sweep_request(apps, schemes, *, sms: int = 4, scale: float = 1.0,
         body["priority"] = priority
     if non_blocking:
         body["non_blocking"] = True
+    if predict:
+        body["predict"] = True
     return body
 
 
 def replay_request(apps, schemes, *, sms: int = 4, scale: float = 1.0,
                    seed: int = 0, priority: Optional[str] = None,
-                   non_blocking: bool = False,
+                   non_blocking: bool = False, predict: bool = False,
                    ) -> Dict[str, Any]:
     body = sweep_request(apps, schemes, sms=sms, scale=scale, seed=seed,
-                         priority=priority, non_blocking=non_blocking)
+                         priority=priority, non_blocking=non_blocking,
+                         predict=predict)
     body["kind"] = "replay"
     return body
 
@@ -286,6 +311,14 @@ def parse_job_request(payload: Any) -> JobRequest:
     non_blocking = payload.get("non_blocking", False)
     if not isinstance(non_blocking, bool):
         raise ProtocolError("non_blocking must be a boolean")
+    predict = payload.get("predict", False)
+    if not isinstance(predict, bool):
+        raise ProtocolError("predict must be a boolean")
+    if predict and non_blocking:
+        raise ProtocolError(
+            "predict has no analytical model for the non-blocking L1D; "
+            "submit without predict for exact non_blocking results"
+        )
 
     mode = MODE_REPLAY if kind == "replay" else MODE_SIM
     units = [
@@ -304,7 +337,8 @@ def parse_job_request(payload: Any) -> JobRequest:
         for scheme in schemes
     ]
     priority = _parse_priority(payload.get("priority"), len(units))
-    return JobRequest(kind=kind, priority=priority, units=units)
+    return JobRequest(kind=kind, priority=priority, units=units,
+                      predict=predict)
 
 
 def _parse_names(payload: Dict[str, Any], singular: str, plural: str,

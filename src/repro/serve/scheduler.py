@@ -15,6 +15,16 @@ resolution path for every unit of every job:
    sweep; FIFO order breaks ties within a priority class.  Admission
    priority only — a cell already on a worker runs to completion.
 
+Jobs submitted with ``predict: true`` take the tier-0 path instead: a
+warm cell is still served exact from the store, but a cold cell gets an
+instant analytical answer (flagged ``tier: "analytical"`` with error
+bars) and a background refinement is enqueued at the lowest priority.
+The refinement runs the normal exact pipeline — same worker entry
+point, same ``store.put`` under the unchanged content address — so the
+exact result supersedes the analytical one for every later request.
+Analytical answers are never persisted, and refinements are best-effort:
+queued ones are dropped at drain.
+
 Every scheduling decision increments a counter or observes a histogram
 on :class:`~repro.serve.metrics.ServeMetrics`, so the acceptance tests
 assert "N submissions, 1 simulation" on counters, never wall clock.
@@ -34,9 +44,14 @@ from repro.experiments.executor import simulate_cell
 from repro.experiments.store import MemoryStore
 from repro.gpu.simulator import SimResult
 from repro.serve import jobs as jobstates
-from repro.serve.jobs import Job, replay_unit
+from repro.serve.jobs import Job, predict_unit, replay_unit
 from repro.serve.metrics import ServeMetrics
-from repro.serve.protocol import MODE_REPLAY, JobRequest, UnitSpec
+from repro.serve.protocol import (
+    MODE_REPLAY,
+    PRIORITY_REFINE,
+    JobRequest,
+    UnitSpec,
+)
 from repro.utils import wallclock
 
 
@@ -69,7 +84,7 @@ class _CellEntry:
     """One in-flight cell execution, shared by all coalesced waiters."""
 
     __slots__ = ("key", "spec", "future", "subscribers", "enqueued_at",
-                 "started", "abandoned")
+                 "started", "abandoned", "predicted_at")
 
     def __init__(self, key: str, spec: UnitSpec,
                  future: "asyncio.Future[Dict[str, Any]]") -> None:
@@ -80,6 +95,9 @@ class _CellEntry:
         self.enqueued_at = wallclock.monotonic()
         self.started = False
         self.abandoned = False      # every waiter cancelled before start
+        #: When an analytical answer was returned for this cell (tier-0)
+        #: — the exact result's arrival closes the supersede histogram.
+        self.predicted_at: Optional[float] = None
 
 
 class Scheduler:
@@ -99,7 +117,7 @@ class Scheduler:
         A deployment-wide choice, never part of a unit's content address
         — the engines are bit-identical, so cells computed by either
         resolve (and warm) the same store entries.
-    pool / sim_fn / replay_fn:
+    pool / sim_fn / replay_fn / predict_fn:
         Injection points for tests: a ``ThreadPoolExecutor`` plus stub
         work functions turn scheduling tests into fast, deterministic
         unit tests with no real simulations.
@@ -108,7 +126,8 @@ class Scheduler:
     def __init__(self, store=None, workers: int = 2, trace_dir=None,
                  metrics: Optional[ServeMetrics] = None,
                  engine: str = "reference", pool=None,
-                 sim_fn=simulate_cell, replay_fn=replay_unit) -> None:
+                 sim_fn=simulate_cell, replay_fn=replay_unit,
+                 predict_fn=predict_unit) -> None:
         self.store = store if store is not None else MemoryStore()
         self.workers = max(1, int(workers))
         self.trace_dir = str(trace_dir) if trace_dir is not None else None
@@ -116,6 +135,7 @@ class Scheduler:
         self.metrics = metrics if metrics is not None else ServeMetrics()
         self._sim_fn = sim_fn
         self._replay_fn = replay_fn
+        self._predict_fn = predict_fn
         self._pool = pool
         self._owns_pool = pool is None
         self._queue: Optional[asyncio.PriorityQueue] = None
@@ -207,7 +227,10 @@ class Scheduler:
     async def _run_job(self, job: Job) -> None:
         job.state = jobstates.RUNNING
         tasks = [
-            asyncio.create_task(self._resolve_unit(unit, job.request.priority))
+            asyncio.create_task(self._resolve_unit(
+                unit, job.request.priority,
+                predict=job.request.predict,
+            ))
             for unit in job.request.units
         ]
         try:
@@ -248,10 +271,12 @@ class Scheduler:
 
     # -- unit resolution -----------------------------------------------
 
-    async def _resolve_unit(self, unit: UnitSpec,
-                            priority: int) -> Dict[str, Any]:
+    async def _resolve_unit(self, unit: UnitSpec, priority: int,
+                            predict: bool = False) -> Dict[str, Any]:
         self.metrics.cells_requested += 1
         key = unit.key()
+        if predict:
+            return await self._resolve_predicted(unit, key)
 
         entry = self._in_flight.get(key)
         if entry is not None:
@@ -270,6 +295,56 @@ class Scheduler:
         assert self._queue is not None, "Scheduler.start() was never awaited"
         self._queue.put_nowait((priority, self._queue_seq, entry))
         return await self._await_entry(entry)
+
+    async def _resolve_predicted(self, unit: UnitSpec,
+                                 key: str) -> Dict[str, Any]:
+        """Tier-0: exact from the store if warm, else an instant
+        analytical answer plus a background exact refinement."""
+        cached = self.store.get(key)
+        if cached is not None:
+            self.metrics.cells_store_hits += 1
+            payload = cached.to_dict()
+            payload["tier"] = "exact"   # response-only; never stored
+            return payload
+        loop = asyncio.get_running_loop()
+        try:
+            payload = await loop.run_in_executor(
+                self._pool, self._predict_fn,
+                unit.worker_payload(), self.trace_dir,
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self.metrics.cells_failed += 1
+            raise UnitExecutionError(unit, key, exc) from exc
+        self.metrics.predict_answers += 1
+        self._ensure_refinement(unit, key)
+        return payload
+
+    def _ensure_refinement(self, unit: UnitSpec, key: str) -> None:
+        """Queue the exact execution behind an analytical answer (once
+        per cell: a refinement or plain request already in flight is
+        reused, and later plain requests coalesce onto it as usual)."""
+        entry = self._in_flight.get(key)
+        if entry is None:
+            entry = _CellEntry(
+                key, unit, asyncio.get_running_loop().create_future()
+            )
+            # the initial subscription is the refinement itself (it
+            # never cancels, so coalesced waiters can come and go
+            # without abandoning the entry); nothing awaits the future,
+            # so consume a failure before it can log as unretrieved
+            entry.future.add_done_callback(
+                lambda f: f.exception() if not f.cancelled() else None
+            )
+            self._in_flight[key] = entry
+            self._queue_seq += 1
+            assert self._queue is not None, \
+                "Scheduler.start() was never awaited"
+            self._queue.put_nowait((PRIORITY_REFINE, self._queue_seq, entry))
+            self.metrics.refinements += 1
+        if entry.predicted_at is None:
+            entry.predicted_at = wallclock.monotonic()
 
     async def _await_entry(self, entry: _CellEntry) -> Dict[str, Any]:
         try:
@@ -329,6 +404,10 @@ class Scheduler:
         )
         self.store.put(entry.key, SimResult.from_dict(payload),
                        meta=spec.meta())
+        if entry.predicted_at is not None:
+            self.metrics.supersede_latency.observe(
+                wallclock.monotonic() - entry.predicted_at
+            )
         self._settle(entry, payload=payload)
 
     def _settle(self, entry: _CellEntry,

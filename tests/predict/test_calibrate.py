@@ -1,0 +1,109 @@
+"""Calibration: serialization, application, and small-grid fitting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import harness_config
+from repro.predict import (
+    ENVELOPE_SCHEMES,
+    Calibration,
+    build_envelope,
+    default_calibration,
+    fit_calibration,
+    predict,
+    profile_workload,
+)
+
+CONFIG = harness_config(2)
+
+
+class TestShippedTable:
+    def test_default_calibration_covers_the_paper_grid(self):
+        cal = default_calibration()
+        assert cal is not None
+        for scheme in ENVELOPE_SCHEMES:
+            sc = cal.for_scheme(scheme)
+            assert sc is not None
+            assert sc.cells >= 2
+            assert sc.max_abs_err >= sc.mean_abs_err >= 0.0
+
+    def test_default_calibration_is_cached(self):
+        assert default_calibration() is default_calibration()
+
+
+class TestSerialization:
+    def test_round_trip_through_dict(self):
+        cal = default_calibration()
+        clone = Calibration.from_dict(cal.to_dict())
+        assert clone.to_dict() == cal.to_dict()
+
+    def test_save_load_round_trip(self, tmp_path):
+        cal = default_calibration()
+        path = tmp_path / "cal.json"
+        cal.save(path)
+        assert Calibration.load(path).to_dict() == cal.to_dict()
+
+
+class TestApply:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        return profile_workload("KM", CONFIG, scale=0.25)
+
+    def test_apply_corrects_and_attaches_error_bars(self, profile):
+        cal = default_calibration()
+        raw = predict(profile, "dlp", CONFIG, calibration=None)
+        calibrated = predict(profile, "dlp", CONFIG, calibration=cal)
+        sc = cal.for_scheme("dlp")
+        assert calibrated.calibrated and not raw.calibrated
+        assert calibrated.miss_rate == pytest.approx(
+            sc.correct(raw.miss_rate))
+        assert calibrated.error["mean_abs"] == sc.mean_abs_err
+        assert calibrated.error["max_abs"] == sc.max_abs_err
+
+    def test_apply_keeps_counts_consistent(self, profile):
+        p = predict(profile, "global_protection", CONFIG,
+                    calibration=default_calibration())
+        serviced = p.reads - p.bypasses
+        assert p.hits + p.misses == pytest.approx(serviced)
+        assert p.misses == pytest.approx(serviced * p.miss_rate, rel=1e-9)
+
+    def test_apply_without_scheme_entry_is_identity(self, profile):
+        empty = Calibration()
+        raw = predict(profile, "baseline", CONFIG, calibration=None)
+        untouched = predict(profile, "baseline", CONFIG, calibration=empty)
+        assert untouched.miss_rate == pytest.approx(raw.miss_rate)
+        assert not untouched.calibrated
+
+
+class TestFit:
+    @pytest.fixture(scope="class")
+    def small_fit(self):
+        return fit_calibration(apps=["MM", "BFS", "KM"],
+                               schemes=("baseline", "dlp"),
+                               fit_ipc=False, scale=0.25)
+
+    def test_fit_produces_per_scheme_envelopes(self, small_fit):
+        assert set(small_fit.schemes) == {"baseline", "dlp"}
+        for sc in small_fit.schemes.values():
+            assert sc.cells == 3
+            assert 0.0 <= sc.mean_abs_err <= sc.max_abs_err < 0.5
+        assert small_fit.meta["exact_tier"] == "fast-engine functional replay"
+
+    def test_fitted_table_round_trips(self, small_fit):
+        clone = Calibration.from_dict(small_fit.to_dict())
+        assert clone.to_dict() == small_fit.to_dict()
+
+    def test_build_envelope_over_the_small_grid(self, small_fit):
+        doc = build_envelope(small_fit, apps=["MM", "BFS", "KM"],
+                             schemes=("baseline", "dlp"), scale=0.25)
+        assert doc["overall"]["cells"] == 6
+        assert len(doc["cells"]) == 6
+        for cell in doc["cells"]:
+            assert 0.0 <= cell["exact_miss_rate"] <= 1.0
+            assert 0.0 <= cell["predicted_miss_rate"] <= 1.0
+            assert cell["abs_err"] == pytest.approx(
+                abs(cell["predicted_miss_rate"] - cell["exact_miss_rate"]),
+                abs=2e-6)
+        assert doc["summary"]["baseline"]["cells"] == 3
+        assert doc["overall"]["max_abs_err"] >= doc["overall"]["mean_abs_err"]

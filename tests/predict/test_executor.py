@@ -1,0 +1,77 @@
+"""PredictSweepExecutor: profile caching, trace source, sweep stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import harness_config
+from repro.experiments.store import trace_key
+from repro.predict import PredictSweepExecutor
+
+
+class TestSweep:
+    def test_sweep_profiles_each_stream_once(self):
+        executor = PredictSweepExecutor(calibration=None)
+        grid = executor.run_sweep(["MM", "BFS"],
+                                  ["baseline", "dlp", "64kb"],
+                                  num_sms=2, scale=0.25)
+        assert set(grid) == {"MM", "BFS"}
+        assert all(set(row) == {"baseline", "dlp", "64kb"}
+                   for row in grid.values())
+        assert executor.stats.profiled == 2
+        assert executor.stats.profile_hits == 4   # 2 extra schemes per app
+        assert executor.stats.predicted == 6
+
+    def test_answers_are_flagged_analytical(self):
+        executor = PredictSweepExecutor(calibration=None)
+        prediction = executor.run_cell("MM", "baseline",
+                                       num_sms=2, scale=0.25)
+        doc = prediction.to_dict()
+        assert doc["tier"] == "analytical"
+        assert doc["scheme"] == "baseline"
+
+    def test_repeated_cell_hits_the_prediction_memo(self):
+        executor = PredictSweepExecutor(calibration=None)
+        a = executor.run_cell("KM", "dlp", num_sms=2, scale=0.25)
+        b = executor.run_cell("KM", "dlp", num_sms=2, scale=0.25)
+        assert executor.stats.profiled == 1
+        assert executor.stats.predicted == 1       # model evaluated once
+        assert executor.stats.prediction_hits == 1
+        assert a.miss_rate == pytest.approx(b.miss_rate)
+        assert a is not b        # memo hands out copies, never aliases
+
+    def test_policy_kwargs_split_the_memo(self):
+        executor = PredictSweepExecutor(calibration=None)
+        a = executor.run_cell("KM", "dlp", num_sms=2, scale=0.25)
+        b = executor.run_cell("KM", "dlp", num_sms=2, scale=0.25, pd_bits=5)
+        assert executor.stats.predicted == 2
+        assert executor.stats.prediction_hits == 0
+        assert a.scheme == b.scheme == "dlp"
+
+
+class TestTraceSource:
+    def test_recorded_trace_predicts_identically_to_capture(self, tmp_path):
+        from repro.trace.record import record_workload
+        from repro.workloads import make_workload
+
+        config = harness_config(2)
+        key = trace_key("MM", config, scale=0.25, seed=0)
+        record_workload(make_workload("MM", 0.25, seed=0), config,
+                        tmp_path / f"{key}.rptr")
+
+        from_trace = PredictSweepExecutor(config=config, calibration=None,
+                                          trace_dir=tmp_path)
+        from_capture = PredictSweepExecutor(config=config, calibration=None)
+        for scheme in ("baseline", "dlp", "global_protection"):
+            a = from_trace.run_cell("MM", scheme, num_sms=2, scale=0.25)
+            b = from_capture.run_cell("MM", scheme, num_sms=2, scale=0.25)
+            assert a.miss_rate == pytest.approx(b.miss_rate, abs=1e-12)
+            assert a.hits == pytest.approx(b.hits, abs=1e-9)
+        assert from_trace.stats.profiled == 1
+
+    def test_missing_trace_falls_back_to_capture(self, tmp_path):
+        executor = PredictSweepExecutor(calibration=None, trace_dir=tmp_path)
+        prediction = executor.run_cell("BFS", "baseline",
+                                       num_sms=2, scale=0.25)
+        assert 0.0 <= prediction.miss_rate <= 1.0
+        assert executor.stats.profiled == 1

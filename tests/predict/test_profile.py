@@ -1,0 +1,165 @@
+"""PredictProfiler: stack/counter distances, writes, epochs, JSON."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import harness_config
+from repro.predict import (
+    NUM_EPOCHS,
+    PredictProfile,
+    PredictProfiler,
+    profile_records,
+    profile_trace,
+    profile_workload,
+)
+from repro.predict.profile import RD_CAP, SD_CAP, TAIL
+
+
+def colliding_blocks(geometry, n, start=0):
+    """``n`` distinct block addresses that map to set_index(start)."""
+    target = geometry.set_index(start)
+    out = [start]
+    block = start
+    while len(out) < n:
+        block += 1
+        if geometry.set_index(block) == target:
+            out.append(block)
+    return out
+
+
+@pytest.fixture
+def profiler():
+    return PredictProfiler(harness_config(1))
+
+
+class TestDistances:
+    def test_first_touch_is_compulsory(self, profiler):
+        profiler.observe(0, 0, 0x10, False)
+        epoch = profiler.profile.epochs[0]
+        assert epoch.compulsory == 1
+        assert epoch.reads == 1 and epoch.accesses == 1
+        assert not epoch.joint
+
+    def test_reuse_records_stack_and_counter_distance(self, profiler):
+        a, b = colliding_blocks(profiler.geometry, 2)
+        profiler.observe(0, a, 0x10, False)
+        profiler.observe(0, b, 0x20, False)
+        profiler.observe(0, a, 0x30, False)
+        epoch = profiler.profile.epochs[0]
+        # one reuse, attributed to the *previous* toucher of block a,
+        # at stack position 1 (b is above it) and counter distance 2
+        [(insn, pairs)] = epoch.joint.items()
+        assert pairs == {(1, 2): 1}
+        assert epoch.compulsory == 2
+
+    def test_intervening_write_to_other_block_still_counts_rd(self, profiler):
+        a, b = colliding_blocks(profiler.geometry, 2)
+        profiler.observe(0, a, 0x10, False)
+        profiler.observe(0, b, 0x20, True)    # store runs the set query
+        profiler.observe(0, a, 0x30, False)
+        epoch = profiler.profile.epochs[0]
+        [(_, pairs)] = epoch.joint.items()
+        # write removed b from the stack, so a is still MRU (sd=0),
+        # but the counter distance includes the write (rd=2)
+        assert pairs == {(0, 2): 1}
+
+    def test_write_to_same_block_makes_reuse_write_evicted(self, profiler):
+        profiler.observe(0, 0, 0x10, False)
+        profiler.observe(0, 0, 0x20, True)
+        profiler.observe(0, 0, 0x30, False)
+        epoch = profiler.profile.epochs[0]
+        assert epoch.write_evicted == 1
+        assert not epoch.joint            # never a protectable reuse
+        assert profiler.profile.write_evicted  # attributed per insn
+
+    def test_distances_cap_to_tail(self, profiler):
+        blocks = colliding_blocks(profiler.geometry, SD_CAP + 2)
+        for block in blocks:
+            profiler.observe(0, block, 0x10, False)
+        profiler.observe(0, blocks[0], 0x10, False)
+        epoch = profiler.profile.epochs[0]
+        [(_, pairs)] = epoch.joint.items()
+        [(sd, rd)] = pairs.keys()
+        assert sd == TAIL and rd == TAIL
+        assert RD_CAP < SD_CAP + 1  # rd exceeded its (smaller) cap too
+
+    def test_per_sm_state_is_independent(self, profiler):
+        profiler.observe(0, 0, 0x10, False)
+        profiler.observe(1, 0, 0x10, False)
+        epoch = profiler.profile.epochs[0]
+        assert epoch.compulsory == 2     # each SM's L1D sees a cold miss
+
+
+class TestEpochs:
+    def test_expected_hint_spreads_stream_over_epochs(self):
+        config = harness_config(1)
+        profiler = PredictProfiler(config, expected_per_sm={0: NUM_EPOCHS})
+        for i in range(NUM_EPOCHS):
+            profiler.observe(0, i * 7919, 0x10, False)
+        assert len(profiler.profile.epochs) == NUM_EPOCHS
+        assert all(e.accesses == 1 for e in profiler.profile.epochs)
+
+    def test_without_hint_everything_lands_in_one_epoch(self, profiler):
+        for i in range(10):
+            profiler.observe(0, i, 0x10, False)
+        assert len(profiler.profile.epochs) == 1
+
+
+class TestSerialization:
+    def test_profile_round_trips_through_json_dict(self):
+        profile = profile_workload("MM", harness_config(2), scale=0.25)
+        clone = PredictProfile.from_dict(profile.to_dict())
+        assert clone.to_dict() == profile.to_dict()
+        assert clone.accesses == profile.accesses
+        assert clone.reads == profile.reads
+        assert clone.compulsory == profile.compulsory
+        assert clone.insns == profile.insns
+        assert clone.rdd.counts == profile.rdd.counts
+        assert {i: h.counts for i, h in clone.insn_rdd.items()} == \
+            {i: h.counts for i, h in profile.insn_rdd.items()}
+
+    def test_merged_preserves_totals(self):
+        profile = profile_workload("BFS", harness_config(2), scale=0.25)
+        flat = profile.merged()
+        assert flat.accesses == profile.accesses
+        assert flat.reads == profile.reads
+        assert flat.writes == profile.writes
+        assert flat.compulsory == profile.compulsory
+        assert sum(sum(p.values()) for p in flat.joint.values()) == sum(
+            sum(p.values())
+            for e in profile.epochs for p in e.joint.values()
+        )
+
+
+class TestSources:
+    def test_trace_profile_matches_live_capture(self, tmp_path):
+        from repro.trace.format import TraceReader
+        from repro.trace.record import capture_records, record_workload
+        from repro.workloads import make_workload
+
+        config = harness_config(2)
+        workload = make_workload("MM", 0.25, seed=0)
+        live = profile_records(capture_records(workload, config), config)
+
+        path = tmp_path / "mm.rptr"
+        record_workload(make_workload("MM", 0.25, seed=0), config, path)
+        traced = profile_trace(TraceReader(path), config)
+
+        # the same stream must profile identically either way
+        assert traced.epochs == live.epochs or \
+            [e.to_dict() for e in traced.epochs] == \
+            [e.to_dict() for e in live.epochs]
+        assert traced.rdd.counts == live.rdd.counts
+
+    def test_trace_line_size_mismatch_rejected(self, tmp_path):
+        from repro.trace.format import TraceFormatError, TraceReader
+        from repro.trace.record import record_workload
+        from repro.workloads import make_workload
+
+        config = harness_config(1)
+        path = tmp_path / "mm.rptr"
+        record_workload(make_workload("MM", 0.25, seed=0), config, path)
+        bad = config.with_l1d(line_size=64)
+        with pytest.raises(TraceFormatError):
+            profile_trace(TraceReader(path), bad)
