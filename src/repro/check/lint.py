@@ -2,7 +2,7 @@
 
 Drives the rule set of :mod:`repro.check.rules` over the package
 sources, applies inline ``# repro-check: allow(RXXX)`` suppressions and
-an optional baseline file, and renders findings as text or JSON.
+an optional baseline file, and renders findings as text, JSON or SARIF.
 
 Baseline workflow
 -----------------
@@ -17,23 +17,56 @@ the rules incrementally.
 Inline suppression
 ------------------
 Append ``# repro-check: allow(R004)`` (or ``allow(R001,R003)``, or
-``allow(*)``) to a line to accept a deliberate design the rule cannot
-see.  Use sparingly; every marker is an assertion that a human checked
-the hazard.
+``allow(*)``) to accept a deliberate design the rule cannot see, with a
+one-line justification after the closing paren.  A marker applies to
+the whole statement it annotates: trailing on any physical line of a
+multi-line statement, on a decorator line of the ``def``/``class`` it
+decorates, or on a standalone comment line directly above the
+statement.  Markers are recognized only in real comments (a docstring
+that *mentions* the syntax is not a suppression), and several markers
+may share a line.
+
+Strict mode
+-----------
+``repro check --strict`` refuses a baseline (nothing may hide behind
+one) and turns marker hygiene into findings (rule R010): a marker that
+suppressed nothing is dead and must be removed; a marker without a
+justification is an unreviewable assertion.
 """
 
 from __future__ import annotations
 
+import ast
+import io
 import json
 import re
 import sys
+import tokenize
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.check import manifest
+from repro.check.analysis import parity
 from repro.check.rules import Finding, ModuleSource, ast_rules, repo_rules
 
 _ALLOW_RE = re.compile(r"#\s*repro-check:\s*allow\(([^)]*)\)")
+
+
+@dataclass
+class AllowMarker:
+    """One inline suppression, tracked for strict-mode hygiene."""
+
+    path: str
+    line: int  # line the marker text is on
+    anchor: int  # anchor line of the statement it applies to
+    rules: frozenset
+    justification: str
+    snippet: str
+    used: bool = field(default=False, compare=False)
+
+    def covers(self, rule: str) -> bool:
+        return rule in self.rules or "*" in self.rules
 
 
 class Linter:
@@ -43,6 +76,9 @@ class Linter:
         self.package_root = (package_root or manifest.package_root()).resolve()
         self.ast_rules = ast_rules()
         self.repo_rules = repo_rules()
+        #: Every allow-marker seen by this instance's lint_* calls, with
+        #: usage recorded — the strict mode's R010 input.
+        self.markers: List[AllowMarker] = []
 
     # -- collection ----------------------------------------------------
 
@@ -84,7 +120,7 @@ class Linter:
         findings: List[Finding] = []
         for rule in self.ast_rules:
             findings.extend(rule.check(module))
-        return _postprocess(findings, module)
+        return self._postprocess(findings, module)
 
     def lint_file(self, path: Path) -> List[Finding]:
         text = path.read_text(encoding="utf-8")
@@ -92,6 +128,7 @@ class Linter:
 
     def lint(self, paths: Optional[Sequence[Path]] = None,
              with_repo_rules: bool = True) -> List[Finding]:
+        self.markers = []
         findings: List[Finding] = []
         for path in self.python_files(paths):
             findings.extend(self.lint_file(path))
@@ -101,39 +138,174 @@ class Linter:
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         return findings
 
+    # -- suppression ----------------------------------------------------
 
-def _postprocess(findings: Iterable[Finding], module: ModuleSource) -> List[Finding]:
-    """Apply inline allow-markers and collapse duplicate locations.
+    def _postprocess(
+        self, findings: Iterable[Finding], module: ModuleSource
+    ) -> List[Finding]:
+        """Apply inline allow-markers and collapse duplicate locations.
 
-    Nested attribute chains report the same ``(line, col)`` more than
-    once (``np.random.default_rng`` contains ``np.random``); the first
-    — outermost — finding wins.
+        Nested attribute chains report the same ``(line, col)`` more
+        than once (``np.random.default_rng`` contains ``np.random``);
+        the first — outermost — finding wins.
+        """
+        groups = _statement_groups(module)
+        markers = _collect_markers(module, groups)
+        self.markers.extend(markers)
+        by_anchor: Dict[int, List[AllowMarker]] = {}
+        for marker in markers:
+            by_anchor.setdefault(marker.anchor, []).append(marker)
+
+        seen: Set[tuple] = set()
+        out: List[Finding] = []
+        for finding in findings:
+            anchor = groups.get(finding.line, finding.line)
+            suppressed = False
+            for marker in by_anchor.get(anchor, ()):
+                if marker.covers(finding.rule):
+                    marker.used = True
+                    suppressed = True
+            if suppressed:
+                continue
+            key = (finding.rule, finding.line, finding.col)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(finding)
+        return out
+
+    # -- strict-mode marker hygiene (R010) ------------------------------
+
+    def marker_findings(self) -> List[Finding]:
+        """R010 findings for the markers seen by the last lint run."""
+        out: List[Finding] = []
+        for marker in self.markers:
+            rules = ",".join(sorted(marker.rules))
+            if not marker.used:
+                out.append(
+                    Finding(
+                        rule="R010",
+                        path=marker.path,
+                        line=marker.line,
+                        col=0,
+                        message=(
+                            f"allow({rules}) marker suppresses nothing — "
+                            f"remove it (dead markers hide future findings)"
+                        ),
+                        snippet=marker.snippet,
+                    )
+                )
+            if not marker.justification:
+                out.append(
+                    Finding(
+                        rule="R010",
+                        path=marker.path,
+                        line=marker.line,
+                        col=0,
+                        message=(
+                            f"allow({rules}) marker has no justification — "
+                            f"state why the hazard is accepted, after the "
+                            f"closing paren"
+                        ),
+                        snippet=marker.snippet,
+                    )
+                )
+        out.sort(key=lambda f: (f.path, f.line, f.col, f.message))
+        return out
+
+
+# ----------------------------------------------------------------------
+# marker collection
+# ----------------------------------------------------------------------
+
+def _statement_groups(module: ModuleSource) -> Dict[int, int]:
+    """Physical line -> anchor line of the statement that owns it.
+
+    Simple statements own their whole ``lineno..end_lineno`` span;
+    compound statements own only their header (up to the first body
+    statement); ``def``/``class`` additionally own their decorator
+    lines.  A marker anywhere in a span suppresses findings anywhere in
+    the same span.
     """
-    allows = _allow_markers(module)
-    seen: Set[tuple] = set()
-    out: List[Finding] = []
-    for finding in findings:
-        allowed = allows.get(finding.line, frozenset())
-        if finding.rule in allowed or "*" in allowed:
+    groups: Dict[int, int] = {}
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.stmt):
             continue
-        key = (finding.rule, finding.line, finding.col)
-        if key in seen:
-            continue
-        seen.add(key)
-        out.append(finding)
-    return out
-
-
-def _allow_markers(module: ModuleSource) -> Dict[int, frozenset]:
-    markers: Dict[int, frozenset] = {}
-    for lineno, line in enumerate(module.lines, start=1):
-        match = _ALLOW_RE.search(line)
-        if match:
-            rules = frozenset(
-                token.strip() for token in match.group(1).split(",") if token.strip()
+        body = getattr(node, "body", None)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            start = min(
+                [d.lineno for d in node.decorator_list] + [node.lineno]
             )
-            markers[lineno] = rules
+            end = node.body[0].lineno - 1
+        elif isinstance(body, list) and body:
+            start = node.lineno
+            end = body[0].lineno - 1
+        else:
+            start = node.lineno
+            end = node.end_lineno or node.lineno
+        for line in range(start, max(start, end) + 1):
+            groups.setdefault(line, node.lineno)
+    return groups
+
+
+def _collect_markers(
+    module: ModuleSource, groups: Dict[int, int]
+) -> List[AllowMarker]:
+    """Allow-markers from *comment tokens* only — a docstring quoting
+    the syntax is documentation, not suppression."""
+    markers: List[AllowMarker] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(module.text).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return markers
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        lineno = token.start[0]
+        comment = token.string
+        standalone = module.lines[lineno - 1].lstrip().startswith("#")
+        matches = list(_ALLOW_RE.finditer(comment))
+        for i, match in enumerate(matches):
+            rules = frozenset(
+                part.strip()
+                for part in match.group(1).split(",")
+                if part.strip()
+            )
+            if not rules:
+                continue
+            tail_end = (
+                matches[i + 1].start() if i + 1 < len(matches)
+                else len(comment)
+            )
+            justification = comment[match.end():tail_end].strip(" \t-—:#")
+            if standalone:
+                anchor = _next_statement_anchor(module, groups, lineno)
+            else:
+                anchor = groups.get(lineno, lineno)
+            markers.append(
+                AllowMarker(
+                    path=module.relpath,
+                    line=lineno,
+                    anchor=anchor,
+                    rules=rules,
+                    justification=justification,
+                    snippet=module.line_at(lineno),
+                )
+            )
     return markers
+
+
+def _next_statement_anchor(
+    module: ModuleSource, groups: Dict[int, int], lineno: int
+) -> int:
+    """A standalone-comment marker applies to the next statement."""
+    for line in range(lineno + 1, len(module.lines) + 1):
+        stripped = module.lines[line - 1].strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        return groups.get(line, line)
+    return lineno
 
 
 # ----------------------------------------------------------------------
@@ -173,6 +345,70 @@ def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
 
 
 # ----------------------------------------------------------------------
+# SARIF output
+# ----------------------------------------------------------------------
+
+def sarif_payload(
+    findings: Sequence[Finding], rule_ids: Iterable[str]
+) -> Dict[str, object]:
+    """Minimal SARIF 2.1.0 document for CI artifact upload."""
+    return {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "informationUri": (
+                            "https://example.invalid/repro/check"
+                        ),
+                        "rules": [
+                            {"id": rule_id} for rule_id in sorted(rule_ids)
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": f.rule,
+                        "level": "error",
+                        "message": {"text": f.message},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {"uri": f.path},
+                                    "region": {
+                                        "startLine": f.line,
+                                        "startColumn": f.col + 1,
+                                    },
+                                }
+                            }
+                        ],
+                        "partialFingerprints": {
+                            "reproCheck/v1": f.fingerprint()
+                        },
+                    }
+                    for f in findings
+                ],
+            }
+        ],
+    }
+
+
+def write_sarif(
+    path: Path, findings: Sequence[Finding], rule_ids: Iterable[str]
+) -> None:
+    Path(path).write_text(
+        json.dumps(sarif_payload(findings, rule_ids), indent=2, sort_keys=True)
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+# ----------------------------------------------------------------------
 # the CLI entry point's engine
 # ----------------------------------------------------------------------
 
@@ -182,6 +418,9 @@ def run_check(
     json_output: bool = False,
     update_baseline: bool = False,
     update_manifest: bool = False,
+    update_parity: bool = False,
+    strict: bool = False,
+    sarif: Optional[str] = None,
     out: Callable[[str], None] = print,
 ) -> int:
     """Run the full check; returns the process exit code (0 = clean)."""
@@ -190,13 +429,20 @@ def run_check(
     if update_manifest:
         path = manifest.write_manifest(linter.package_root)
         out(f"semantics manifest updated: {path}")
+    if update_parity:
+        path = parity.write_parity(linter.package_root)
+        out(f"parity manifest updated: {path}")
+
+    if strict and baseline is not None:
+        out("error: --strict refuses a baseline — fix or allow-mark instead")
+        return 2
 
     target_paths = [Path(p) for p in paths] if paths else None
     findings = linter.lint(target_paths)
 
     if update_baseline:
         if baseline is None:
-            out("error: --update-baseline needs --baseline FILE", )
+            out("error: --update-baseline needs --baseline FILE")
             return 2
         write_baseline(Path(baseline), findings)
         out(f"baseline updated: {baseline} ({len(findings)} findings recorded)")
@@ -206,15 +452,26 @@ def run_check(
     new = [f for f in findings if f.fingerprint() not in known]
     suppressed = len(findings) - len(new)
 
+    if strict:
+        new.extend(linter.marker_findings())
+        new.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    checked_rules = sorted(
+        {r.rule_id for r in linter.ast_rules}
+        | {r.rule_id for r in linter.repo_rules}
+        | ({"R010"} if strict else set())
+    )
+
+    if sarif is not None:
+        write_sarif(Path(sarif), new, checked_rules)
+
     if json_output:
         out(json.dumps(
             {
                 "findings": [f.to_dict() for f in new],
                 "suppressed": suppressed,
-                "checked_rules": sorted(
-                    {r.rule_id for r in linter.ast_rules}
-                    | {r.rule_id for r in linter.repo_rules}
-                ),
+                "strict": strict,
+                "checked_rules": checked_rules,
             },
             indent=2,
             sort_keys=True,
@@ -223,9 +480,13 @@ def run_check(
         for finding in new:
             out(finding.format())
         summary = f"repro check: {len(new)} finding(s)"
+        if strict:
+            summary += " [strict]"
         if suppressed:
             summary += f", {suppressed} baseline-suppressed"
         out(summary)
+        if sarif is not None:
+            out(f"sarif report written: {sarif}")
 
     return 1 if new else 0
 

@@ -14,10 +14,15 @@ from repro.check.rules.base import (
     HW_FIELD_NAMES,
     Finding,
     ModuleSource,
+    RepoRule,
     Rule,
 )
+from repro.check.rules.async_hygiene import AsyncHygieneRule
+from repro.check.rules.bit_widths import BitWidthProofRule
 from repro.check.rules.bitfield_masking import BitfieldMaskingRule
+from repro.check.rules.engine_parity import EngineParityRule, OverrideGuardRule
 from repro.check.rules.float_contamination import FloatContaminationRule
+from repro.check.rules.key_purity import KeyPurityRule
 from repro.check.rules.nondeterminism import NondeterminismRule
 from repro.check.rules.process_hazards import ProcessHazardRule
 from repro.check.rules.sim_version import SimVersionRule
@@ -30,18 +35,23 @@ def ast_rules() -> List[Rule]:
         FloatContaminationRule(),
         BitfieldMaskingRule(),
         ProcessHazardRule(),
+        BitWidthProofRule(),
+        OverrideGuardRule(),
+        KeyPurityRule(),
+        AsyncHygieneRule(),
     ]
 
 
-def repo_rules() -> List[SimVersionRule]:
+def repo_rules() -> List[RepoRule]:
     """Fresh instances of every repo-level rule."""
-    return [SimVersionRule()]
+    return [SimVersionRule(), EngineParityRule()]
 
 
 __all__ = [
     "Finding",
     "ModuleSource",
     "Rule",
+    "RepoRule",
     "HW_FIELD_NAMES",
     "ast_rules",
     "repo_rules",
@@ -49,5 +59,10 @@ __all__ = [
     "FloatContaminationRule",
     "BitfieldMaskingRule",
     "ProcessHazardRule",
+    "BitWidthProofRule",
+    "OverrideGuardRule",
+    "KeyPurityRule",
+    "AsyncHygieneRule",
     "SimVersionRule",
+    "EngineParityRule",
 ]

@@ -1,0 +1,136 @@
+"""R009 — async hygiene in the serving layer.
+
+The service (:mod:`repro.serve`) runs one asyncio event loop; a single
+blocking call inside a coroutine stalls every connected client, the
+scheduler pumps, and the drain path.  Simulations stay off the loop via
+``run_in_executor`` — this rule keeps it that way by flagging, inside
+any ``async def`` (nested synchronous helpers excluded):
+
+* ``time.sleep`` / ``wallclock.sleep`` — sleep the loop, not the task
+  (use ``asyncio.sleep``);
+* ``Future.result()`` — a ProcessPool future joined synchronously
+  (await the ``run_in_executor`` wrapper instead);
+* ``Executor.shutdown(...)`` without ``wait=False`` — joins every
+  worker from inside the loop;
+* synchronous file I/O (``open``, ``Path.read_text``/``write_text``/
+  ``read_bytes``/``write_bytes``) and ``subprocess``/``os.system`` —
+  unbounded disk/process latency on the loop.
+
+Deliberate blocking (e.g. the final pool join during shutdown, where
+the loop has nothing left to serve) carries an allow-marker with its
+justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.check.rules.base import Finding, ModuleSource, Rule, attr_chain
+
+_SCOPED_PACKAGES = ("repro/serve/",)
+
+#: Dotted-call suffixes that block the loop outright.
+_BLOCKING_CALLS = {
+    "time.sleep": "time.sleep() sleeps the event loop — use asyncio.sleep()",
+    "wallclock.sleep": (
+        "wallclock.sleep() sleeps the event loop — use asyncio.sleep()"
+    ),
+    "os.system": "os.system() blocks the loop on a child process",
+    "subprocess.run": "subprocess.run() blocks the loop on a child process",
+    "subprocess.call": "subprocess.call() blocks the loop on a child process",
+    "subprocess.check_output": (
+        "subprocess.check_output() blocks the loop on a child process"
+    ),
+}
+
+#: Method names that are synchronous file I/O wherever they appear.
+_BLOCKING_METHODS = {
+    "read_text": "synchronous file read blocks the loop",
+    "write_text": "synchronous file write blocks the loop",
+    "read_bytes": "synchronous file read blocks the loop",
+    "write_bytes": "synchronous file write blocks the loop",
+}
+
+
+class AsyncHygieneRule(Rule):
+    rule_id = "R009"
+    title = "blocking call inside a coroutine"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not module.relpath.startswith(_SCOPED_PACKAGES):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_coroutine(module, node)
+
+    def _check_coroutine(
+        self, module: ModuleSource, func: ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        # manual walk: skip nested *synchronous* defs (they run wherever
+        # they are called, commonly handed to run_in_executor); nested
+        # async defs are found by the outer ast.walk
+        stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, func.name, node)
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _check_call(
+        self, module: ModuleSource, coroutine: str, call: ast.Call
+    ) -> Iterator[Finding]:
+        chain = attr_chain(call.func)
+        if chain is not None:
+            for suffix, why in _BLOCKING_CALLS.items():
+                if chain == suffix or chain.endswith("." + suffix):
+                    yield self.finding(
+                        module,
+                        call,
+                        f"coroutine {coroutine!r}: {why}",
+                    )
+                    return
+        if isinstance(call.func, ast.Name) and call.func.id == "open":
+            yield self.finding(
+                module,
+                call,
+                f"coroutine {coroutine!r}: open() is synchronous file I/O "
+                f"on the event loop — do it in the executor",
+            )
+            return
+        if isinstance(call.func, ast.Attribute):
+            attr = call.func.attr
+            if attr == "result" and not call.args:
+                yield self.finding(
+                    module,
+                    call,
+                    f"coroutine {coroutine!r}: .result() joins a future "
+                    f"synchronously — await the run_in_executor wrapper",
+                )
+                return
+            if attr == "shutdown" and not _waits_false(call):
+                yield self.finding(
+                    module,
+                    call,
+                    f"coroutine {coroutine!r}: .shutdown() joins worker "
+                    f"processes on the event loop — pass wait=False or "
+                    f"move the join off the loop",
+                )
+                return
+            why = _BLOCKING_METHODS.get(attr)
+            if why is not None:
+                yield self.finding(
+                    module, call, f"coroutine {coroutine!r}: {why}"
+                )
+
+
+def _waits_false(call: ast.Call) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg == "wait":
+            return isinstance(keyword.value, ast.Constant) and (
+                keyword.value.value is False
+            )
+    return False

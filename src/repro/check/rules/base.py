@@ -85,6 +85,17 @@ class Rule:
         )
 
 
+class RepoRule:
+    """Base class for repo-level rules: one ``check_repo`` over the
+    package tree instead of a per-file ``check``."""
+
+    rule_id = "R000"
+    title = ""
+
+    def check_repo(self, root: Optional[Path] = None) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
 def walk_with_ancestors(tree: ast.AST) -> Iterator[tuple[ast.AST, List[ast.AST]]]:
     """Depth-first walk yielding ``(node, ancestors)`` pairs."""
     stack: List[tuple[ast.AST, List[ast.AST]]] = [(tree, [])]

@@ -1,0 +1,177 @@
+"""R008 — store-key purity.
+
+Every content address in the system (cell fingerprints, trace keys,
+replay keys, job addresses) must be a pure, canonical function of the
+*semantics* of the work.  Two laws came out of PRs 5-7 and live in this
+rule rather than in test convention:
+
+* ``engine`` never contributes to a key — the packed engine is proven
+  bit-identical to the reference, so either engine must warm the
+  other's store; and
+* ``non_blocking`` contributes **only when on** — every blocking-mode
+  key predating PR 6 must stay byte-identical, so the field is added
+  under a guard and dropped when false.
+
+The rule walks every key-builder function (``key``, ``fingerprint``,
+``*_key``, ``*_fingerprint``, ``canonical_json``) in the store-facing
+packages and rejects:
+
+* any read of ``engine`` (name or attribute) — engine-dependent keys;
+* an unconditional ``"non_blocking"`` dict entry — breaks the
+  byte-compatibility law above;
+* ``json.dumps`` without ``sort_keys=True`` — non-canonical
+  serialization (dict order leaks into the address);
+* ``id(...)`` / ``os.getpid()`` — process-lifetime values
+  (``hash()`` randomization is already R001's finding).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.check.rules.base import (
+    Finding,
+    ModuleSource,
+    Rule,
+    attr_chain,
+)
+
+_SCOPED_PACKAGES = (
+    "repro/experiments/",
+    "repro/serve/",
+    "repro/trace/",
+    "repro/predict/",
+)
+
+_KEY_BUILDER_NAMES = ("key", "fingerprint", "canonical_json")
+_KEY_BUILDER_SUFFIXES = ("_key", "_fingerprint")
+
+_PROCESS_LIFETIME_CALLS = {"id": "id()", "os.getpid": "os.getpid()"}
+
+
+def is_key_builder(name: str) -> bool:
+    if name.startswith("__"):
+        return False
+    return name in _KEY_BUILDER_NAMES or name.endswith(_KEY_BUILDER_SUFFIXES)
+
+
+class KeyPurityRule(Rule):
+    rule_id = "R008"
+    title = "impure or non-canonical store-key contributor"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not module.relpath.startswith(_SCOPED_PACKAGES):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if is_key_builder(node.name):
+                    yield from self._check_builder(module, node)
+
+    def _check_builder(
+        self, module: ModuleSource, func: ast.AST
+    ) -> Iterator[Finding]:
+        name = func.name  # type: ignore[attr-defined]
+        # manual walk so nested defs keep the builder attribution and
+        # guard ancestry stays available for the non_blocking check
+        stack: List[tuple] = [(child, []) for child in ast.iter_child_nodes(func)]
+        while stack:
+            node, ancestors = stack.pop()
+            yield from self._check_node(module, name, node, ancestors)
+            stack.extend(
+                (child, ancestors + [node])
+                for child in ast.iter_child_nodes(node)
+            )
+
+    def _check_node(
+        self,
+        module: ModuleSource,
+        builder: str,
+        node: ast.AST,
+        ancestors: List[ast.AST],
+    ) -> Iterator[Finding]:
+        # (a) engine-dependent keys
+        if isinstance(node, ast.Name) and node.id == "engine" and isinstance(
+            node.ctx, ast.Load
+        ):
+            yield self.finding(
+                module,
+                node,
+                f"key builder {builder!r} reads `engine` — engines are "
+                f"bit-identical and must share store entries; keys must "
+                f"not depend on the engine",
+            )
+        elif isinstance(node, ast.Attribute) and node.attr == "engine" and (
+            isinstance(node.ctx, ast.Load)
+        ):
+            yield self.finding(
+                module,
+                node,
+                f"key builder {builder!r} reads `.engine` — engines are "
+                f"bit-identical and must share store entries; keys must "
+                f"not depend on the engine",
+            )
+        # (b) unconditional non_blocking key entry
+        if _stores_non_blocking(node) and not _guarded_by_non_blocking(ancestors):
+            yield self.finding(
+                module,
+                node,
+                f"key builder {builder!r} adds 'non_blocking' "
+                f"unconditionally — blocking-mode keys must stay "
+                f"byte-identical; add it only when the mode is on",
+            )
+        # (c) non-canonical serialization
+        if isinstance(node, ast.Call):
+            chain = attr_chain(node.func)
+            if chain is not None and chain.endswith("json.dumps"):
+                if not _has_true_keyword(node, "sort_keys"):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"key builder {builder!r} serializes with "
+                        f"json.dumps(...) without sort_keys=True — dict "
+                        f"order would leak into the content address",
+                    )
+            # (d) process-lifetime values
+            if chain in _PROCESS_LIFETIME_CALLS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"key builder {builder!r} calls "
+                    f"{_PROCESS_LIFETIME_CALLS[chain]} — process-lifetime "
+                    f"values must never reach a content address",
+                )
+
+
+def _stores_non_blocking(node: ast.AST) -> bool:
+    """A ``"non_blocking"`` dict-literal key, or a store through
+    ``x["non_blocking"]``."""
+    if isinstance(node, ast.Dict):
+        for key in node.keys:
+            if isinstance(key, ast.Constant) and key.value == "non_blocking":
+                return True
+        return False
+    if isinstance(node, ast.Subscript) and isinstance(node.ctx, ast.Store):
+        sl = node.slice
+        return isinstance(sl, ast.Constant) and sl.value == "non_blocking"
+    return False
+
+
+def _guarded_by_non_blocking(ancestors: List[ast.AST]) -> bool:
+    """Is the store under an ``if``/conditional whose test mentions the
+    mode?  (``if self.non_blocking:``, ``if cfg.get("non_blocking"):``)"""
+    for ancestor in ancestors:
+        test = getattr(ancestor, "test", None)
+        if isinstance(ancestor, (ast.If, ast.IfExp)) and test is not None:
+            if "non_blocking" in ast.unparse(test):
+                return True
+    return False
+
+
+def _has_true_keyword(call: ast.Call, name: str) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return isinstance(keyword.value, ast.Constant) and (
+                keyword.value.value is True
+            )
+    return False

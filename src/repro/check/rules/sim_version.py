@@ -13,12 +13,10 @@ from pathlib import Path
 from typing import Iterator, Optional
 
 from repro.check import manifest
-from repro.check.rules.base import Finding
+from repro.check.rules.base import Finding, RepoRule
 
 
-class SimVersionRule:
-    """Duck-typed repo rule: ``check_repo`` instead of ``check``."""
-
+class SimVersionRule(RepoRule):
     rule_id = "R005"
     title = "core/cache semantics changed without a SIM_VERSION bump"
 

@@ -20,7 +20,8 @@ predict    analytical miss-rate/IPC estimates for an app x scheme grid —
            no cache is stepped; calibrated error bars included
 profile    reuse-distance analysis of one application (Fig. 3/7 style)
 trace      record, inspect, replay and import memory traces
-check      determinism linter + hardware-contract static checks (CI gate)
+check      static verification: determinism, bit-width proofs, engine
+           parity, key purity, async hygiene (rules R001-R010, CI gate)
 fuzz       differential fuzzer: seeded adversarial streams through both
            L1D engines across the scheme x MSHR-mode grid (CI gate)
 list       the Table 2 application registry
@@ -50,6 +51,7 @@ Examples
     python -m repro trace replay bfs.rptr --verify
     python -m repro trace import foreign.csv foreign.rptr
     python -m repro check
+    python -m repro check --strict --sarif check.sarif
     python -m repro check --json src/repro/core
     python -m repro fuzz --streams 200 --length 400
     python -m repro list
@@ -350,8 +352,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_check = sub.add_parser(
         "check",
-        help="lint the package for nondeterminism and hardware-contract "
-             "hazards (rules R001-R005)",
+        help="static verification: determinism, bit-width proofs, engine "
+             "parity, key purity and async hygiene (rules R001-R010)",
     )
     p_check.add_argument("paths", nargs="*", metavar="PATH",
                          help="files or directories to lint (default: the "
@@ -369,6 +371,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--update-manifest", action="store_true",
                          help="regenerate the R005 semantics manifest "
                               "(after bumping SIM_VERSION)")
+    p_check.add_argument("--update-parity", action="store_true",
+                         help="regenerate the R007 engine-parity manifest "
+                              "(after an intentional policy-surface change)")
+    p_check.add_argument("--strict", action="store_true",
+                         help="refuse a baseline and enforce allow-marker "
+                              "hygiene (R010: unused or unjustified markers)")
+    p_check.add_argument("--sarif", default=None, metavar="FILE",
+                         help="also write findings as a SARIF 2.1.0 report")
 
     p_fuzz = sub.add_parser(
         "fuzz",
@@ -964,6 +974,9 @@ def cmd_check(args) -> int:
         json_output=args.json_output,
         update_baseline=args.update_baseline,
         update_manifest=args.update_manifest,
+        update_parity=args.update_parity,
+        strict=args.strict,
+        sarif=args.sarif,
     )
 
 

@@ -72,7 +72,9 @@ def compute_overhead(
     """
     geometry = geometry or CacheGeometry(num_sets=32, assoc=4, line_size=128)
     num_lines = geometry.num_sets * geometry.assoc
-    vta_entries = geometry.num_sets * (vta_assoc or geometry.assoc)
+    vta_entries = geometry.num_sets * (
+        vta_assoc if vta_assoc is not None else geometry.assoc
+    )
 
     tda_ext_bits = (insn_id_bits + pl_bits) * num_lines
     vta_bits = (tag_bits + insn_id_bits) * vta_entries

@@ -132,6 +132,8 @@ class PredictionTable:
         return entry.pd
 
     def decrease_all(self, delta: int) -> None:
+        if delta < 0:
+            raise ValueError(f"decrease delta must be non-negative, got {delta}")
         for entry in self.entries:
             if entry.pd:
                 entry.pd = max(entry.pd - delta, 0)

@@ -65,6 +65,8 @@ def run_pd_update(table: PredictionTable, nasc: int) -> PdUpdateResult:
 
     Hit counters are cleared afterwards in every case.
     """
+    if nasc < 0:
+        raise ValueError(f"Nasc must be non-negative, got {nasc}")
     g_tda = table.global_tda_hits
     g_vta = table.global_vta_hits
     adjustments: Dict[int, int] = {}
@@ -97,6 +99,8 @@ def run_global_pd_update(
     """The Global-Protection variant (Section 5.3): one PD for the whole
     cache, adjusted from the program-level hit counts with the same step
     comparison and the same decrease rule.  Returns ``(new_pd, path)``."""
+    if nasc < 0:
+        raise ValueError(f"Nasc must be non-negative, got {nasc}")
     if g_vta > g_tda:
         delta = pd_increment(nasc, g_vta, g_tda)
         return min(global_pd + delta, pd_max), "increase"

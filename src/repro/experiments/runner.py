@@ -117,7 +117,7 @@ def set_executor(executor: SweepExecutor) -> SweepExecutor:
     shared backend (cells are simulated directly in the worker), so the
     parent-only swap is safe.
     """
-    global _executor  # repro-check: allow(R004)
+    global _executor  # repro-check: allow(R004) parent-only swap, see docstring
     previous = _executor
     _executor = executor
     return previous

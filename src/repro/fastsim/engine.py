@@ -670,13 +670,16 @@ class FastL1DCache:
 
     def _end_sample(self) -> None:
         nasc = self._nasc
+        if nasc < 0:
+            # Hoisted above the path split (mirrors run_pd_update /
+            # run_global_pd_update): a negative Nasc on the decrease path
+            # would silently *raise* PDs past the 4-bit field.
+            raise ValueError(f"Nasc must be non-negative, got {nasc}")
         if self._kind == KIND_DLP:
             g_tda, g_vta = self._g_tda, self._g_vta
             pdt, pdv, pdl = self._pdt, self._pdv, self._pdl
             if g_vta > g_tda:
                 path = "increase"
-                if nasc < 0:
-                    raise ValueError(f"Nasc must be non-negative, got {nasc}")
                 pd_max = self._pd_max
                 for i in range(self._pdpt_n):
                     t, v = pdt[i], pdv[i]
@@ -702,8 +705,6 @@ class FastL1DCache:
             g_tda, g_vta = self._gp_tda, self._gp_vta
             if g_vta > g_tda:
                 path = "increase"
-                if nasc < 0:
-                    raise ValueError(f"Nasc must be non-negative, got {nasc}")
                 npd = self._gpd + _pd_increment(nasc, g_vta, g_tda)
                 self._gpd = npd if npd < self._pd_max else self._pd_max
             elif 2 * g_vta < g_tda:

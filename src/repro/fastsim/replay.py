@@ -267,6 +267,9 @@ def _replay_stream(
                         pdt[i] += 1
                     pdu[i] = True
                     g_tda += 1
+                    # repro-check: allow(R006) insn comes from the insn_ids
+                    # memo, every value of which was produced by hash_pc and
+                    # is therefore already folded to 7 bits
                     iid_arr[way] = insn
                     pd = pdl[insn % pdpt_n]
                     pli[way] = pd if pd < pl_max else pl_max
@@ -378,7 +381,10 @@ def _replay_stream(
                             vlru[slot] = vstamp
                             vta_inserts += 1
                     blk[victim] = block
-                    iid_arr[victim] = insn  # the fill copies pending->owner
+                    # the fill copies pending->owner
+                    # repro-check: allow(R006) insn is a hash_pc-folded memo
+                    # value, already 7 bits (same invariant as the hit path)
+                    iid_arr[victim] = insn
                     if kind == KIND_DLP:
                         pd = pdl[insn % pdpt_n]
                         pli[victim] = pd if pd < pl_max else pl_max

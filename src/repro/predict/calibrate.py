@@ -24,7 +24,9 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Tuple,
+)
 
 from repro.predict.model import (
     IPC_FEATURES, PREDICTABLE_SCHEMES, Prediction, predict,
@@ -32,6 +34,10 @@ from repro.predict.model import (
 from repro.predict.profile import (
     PredictProfile, profile_records, workload_insns,
 )
+
+if TYPE_CHECKING:
+    from repro.gpu.config import GPUConfig
+    from repro.trace.format import TraceRecord
 
 #: The packaged default table.
 DEFAULT_CALIBRATION_PATH = Path(__file__).with_name("calibration.json")
@@ -202,7 +208,8 @@ def _lstsq(rows: List[List[float]], ys: List[float]) -> Optional[List[float]]:
     return coeffs
 
 
-def _exact_miss_rate(records, config, scheme: str, engine: str = "fast") -> float:
+def _exact_miss_rate(records: Sequence[TraceRecord], config: GPUConfig,
+                     scheme: str, engine: str = "fast") -> float:
     from repro.trace.replay import replay_records
 
     result = replay_records(iter(records), config, scheme, engine=engine)
@@ -210,10 +217,12 @@ def _exact_miss_rate(records, config, scheme: str, engine: str = "fast") -> floa
 
 
 def fit_calibration(apps: Optional[Iterable[str]] = None,
-                    config=None, scale: float = 0.25, seed: int = 0,
+                    config: Optional[GPUConfig] = None,
+                    scale: float = 0.25, seed: int = 0,
                     schemes: Sequence[str] = ENVELOPE_SCHEMES,
                     fit_ipc: bool = True,
-                    progress=None) -> Calibration:
+                    progress: Optional[Callable[[str], None]] = None,
+                    ) -> Calibration:
     """Fit a fresh calibration against the exact engines.
 
     Runs one capture + profile per app, one fast-engine functional
@@ -236,7 +245,7 @@ def fit_calibration(apps: Optional[Iterable[str]] = None,
         if progress:
             progress(f"profiling {app}")
         workload = make_workload(app, scale, seed=seed)
-        records = [tuple(r) for r in capture_records(workload, config)]
+        records = capture_records(workload, config)
         profile = profile_records(records, config)
         profile.insns = workload_insns(workload)
         profile.meta.update({"source": "registry", "abbr": app.upper(),
@@ -272,8 +281,10 @@ def fit_calibration(apps: Optional[Iterable[str]] = None,
 
 def _fit_ipc_coeffs(calibration: Calibration,
                     profiles: Dict[str, PredictProfile],
-                    raw, config, scale: float, seed: int,
-                    schemes: Sequence[str], progress) -> None:
+                    raw: Dict[str, List[Tuple[str, float, float, Prediction]]],
+                    config: GPUConfig, scale: float, seed: int,
+                    schemes: Sequence[str],
+                    progress: Optional[Callable[[str], None]]) -> None:
     """Fit the per-scheme CPI model against timing simulations.
 
     CPI (cycles per per-SM thread instruction) is regressed on
@@ -287,7 +298,7 @@ def _fit_ipc_coeffs(calibration: Calibration,
     for scheme in schemes:
         rows: List[List[float]] = []
         ys: List[float] = []
-        observed: List[Tuple[str, float]] = []
+        observed: List[Tuple[str, float, int]] = []
         for app, _raw_mr, _exact_mr, prediction in raw[scheme]:
             if progress:
                 progress(f"timing {app}/{scheme}")
@@ -339,9 +350,11 @@ def _fit_ipc_coeffs(calibration: Calibration,
 
 def build_envelope(calibration: Optional[Calibration] = None,
                    apps: Optional[Iterable[str]] = None,
-                   config=None, scale: float = 0.25, seed: int = 0,
+                   config: Optional[GPUConfig] = None,
+                   scale: float = 0.25, seed: int = 0,
                    schemes: Sequence[str] = ENVELOPE_SCHEMES,
-                   progress=None) -> Dict[str, object]:
+                   progress: Optional[Callable[[str], None]] = None,
+                   ) -> Dict[str, object]:
     """Measure the calibrated predictor against the exact tier per cell.
 
     The result is the pinned ``tests/golden/predict_envelope.json``
@@ -362,7 +375,7 @@ def build_envelope(calibration: Optional[Calibration] = None,
         if progress:
             progress(f"validating {app}")
         workload = make_workload(app, scale, seed=seed)
-        records = [tuple(r) for r in capture_records(workload, config)]
+        records = capture_records(workload, config)
         profile = profile_records(records, config)
         profile.insns = workload_insns(workload)
         for scheme in schemes:

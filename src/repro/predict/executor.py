@@ -20,7 +20,7 @@ from __future__ import annotations
 import copy
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence, Union
 
 from repro.experiments.store import trace_key
 from repro.gpu.config import GPUConfig
@@ -72,7 +72,8 @@ class PredictSweepExecutor:
     """
 
     def __init__(self, config: Optional[GPUConfig] = None,
-                 calibration=_UNSET, trace_dir=None) -> None:
+                 calibration: Any = _UNSET,
+                 trace_dir: Optional[Union[str, Path]] = None) -> None:
         self.config = config
         self.calibration: Optional[Calibration] = (
             default_calibration() if calibration is _UNSET else calibration
@@ -128,7 +129,7 @@ class PredictSweepExecutor:
         num_sms: int = 4,
         scale: float = 1.0,
         seed: int = 0,
-        **policy_kwargs,
+        **policy_kwargs: Any,
     ) -> Prediction:
         abbr = abbr.upper()
         config = self._resolved_config(num_sms)
@@ -152,7 +153,7 @@ class PredictSweepExecutor:
         num_sms: int = 4,
         scale: float = 1.0,
         seed: int = 0,
-        **policy_kwargs,
+        **policy_kwargs: Any,
     ) -> Dict[str, Dict[str, Prediction]]:
         """The full app x scheme matrix as ``{app: {scheme: prediction}}``
         — app-major, so each stream is profiled exactly once."""

@@ -32,7 +32,7 @@ the error bars attached to a :class:`Prediction`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.analysis.reuse import RD_LABELS, bucket_of
 from repro.core.pdpt import PD_BITS
@@ -41,6 +41,9 @@ from repro.gpu.config import GPUConfig
 from repro.predict.profile import (
     RD_CAP, SD_CAP, TAIL, EpochCounts, PredictProfile,
 )
+
+if TYPE_CHECKING:
+    from repro.predict.calibrate import Calibration
 
 #: Schemes the model understands (the paper's four policies plus the
 #: capacity comparators, which are baseline LRU at 8/16 ways).
@@ -417,7 +420,8 @@ def _protected_prediction(profile: PredictProfile, scheme: str, assoc: int,
 
 def predict(profile: PredictProfile, scheme: str,
             config: Optional[GPUConfig] = None,
-            calibration=None, **policy_kwargs) -> Prediction:
+            calibration: Optional[Calibration] = None,
+            **policy_kwargs: Any) -> Prediction:
     """Analytically estimate one (stream, scheme, geometry) cell.
 
     ``calibration`` is a :class:`repro.predict.calibrate.Calibration`
@@ -454,7 +458,8 @@ def predict(profile: PredictProfile, scheme: str,
 
 
 def _estimate_ipc(profile: PredictProfile, prediction: Prediction,
-                  config: GPUConfig, calibration) -> Optional[float]:
+                  config: GPUConfig,
+                  calibration: Optional[Calibration]) -> Optional[float]:
     """IPC from the calibrated CPI model (None without coefficients)."""
     tables = getattr(calibration, "ipc_coeffs", None) if calibration else None
     coeffs = tables.get(prediction.scheme) if tables else None

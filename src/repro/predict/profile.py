@@ -35,13 +35,26 @@ per trace key and travel through the serve worker pool.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.reuse import RddHistogram
 from repro.cache.tagarray import CacheGeometry
 from repro.gpu.config import GPUConfig
 from repro.gpu.isa import ComputeOp
 from repro.utils.hashing import hash_pc
+
+if TYPE_CHECKING:
+    from repro.trace.format import TraceReader
+    from repro.workloads import Workload
+
+#: Per-SM profiler state: (stacks[set] = blocks MRU->LRU, counters[set],
+#: read_counters[set], last[set][block] = (insn, ctr, read_ctr, written)).
+SmState = Tuple[
+    List[List[int]],
+    List[int],
+    List[int],
+    List[Dict[int, Tuple[int, int, int, bool]]],
+]
 
 #: Stack positions are exact up to this depth; anything deeper lands in
 #: the tail.  Deep enough for the largest modelled geometry (64 KB =
@@ -245,7 +258,7 @@ class PredictProfiler:
         # queries so far; read_ctr[set] = reads only (reporting RDD);
         # last[set][block] = (insn, counter, read_counter, written);
         # seen = records consumed from this SM's stream (epoch clock)
-        self._sms: Dict[int, tuple] = {}
+        self._sms: Dict[int, SmState] = {}
         self._seen: Dict[int, int] = {}
 
     # -- internals -----------------------------------------------------
@@ -265,7 +278,7 @@ class PredictProfiler:
             epochs.append(EpochCounts())
         return epochs[index]
 
-    def _sm_state(self, sm_id: int):
+    def _sm_state(self, sm_id: int) -> SmState:
         state = self._sms.get(sm_id)
         if state is None:
             nsets = self.geometry.num_sets
@@ -360,7 +373,8 @@ def profile_records(records: Sequence, config: GPUConfig) -> PredictProfile:
     return profiler.profile
 
 
-def profile_trace(reader, config: Optional[GPUConfig] = None) -> PredictProfile:
+def profile_trace(reader: TraceReader,
+                  config: Optional[GPUConfig] = None) -> PredictProfile:
     """Profile a recorded ``.rptr`` trace.
 
     The trace header fixes the stream's own geometry (SM count, line
@@ -404,7 +418,7 @@ def profile_workload(abbr: str, config: GPUConfig, scale: float = 1.0,
     return profile
 
 
-def workload_insns(workload) -> int:
+def workload_insns(workload: Workload) -> int:
     """Static thread-instruction count of a workload — the numerator of
     IPC — summed over every warp trace without stepping the simulator."""
     total = 0

@@ -29,7 +29,7 @@ Everything here is plain data + validation; no asyncio, no I/O.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.experiments.executor import Cell
 from repro.experiments.store import (
@@ -230,7 +230,8 @@ def cell_request(app: str, scheme: str, *, sms: int = 4, scale: float = 1.0,
     return body
 
 
-def sweep_request(apps, schemes, *, sms: int = 4, scale: float = 1.0,
+def sweep_request(apps: Iterable[str], schemes: Iterable[str], *,
+                  sms: int = 4, scale: float = 1.0,
                   seed: int = 0, priority: Optional[str] = None,
                   non_blocking: bool = False, predict: bool = False,
                   ) -> Dict[str, Any]:
@@ -247,7 +248,8 @@ def sweep_request(apps, schemes, *, sms: int = 4, scale: float = 1.0,
     return body
 
 
-def replay_request(apps, schemes, *, sms: int = 4, scale: float = 1.0,
+def replay_request(apps: Iterable[str], schemes: Iterable[str], *,
+                   sms: int = 4, scale: float = 1.0,
                    seed: int = 0, priority: Optional[str] = None,
                    non_blocking: bool = False, predict: bool = False,
                    ) -> Dict[str, Any]:

@@ -37,10 +37,11 @@ awaits, so the coalescing map needs no locks.
 from __future__ import annotations
 
 import asyncio
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Dict, List, Optional
+from concurrent.futures import Executor, ProcessPoolExecutor
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
 
-from repro.experiments.executor import simulate_cell
+from repro.experiments.executor import Cell, simulate_cell
 from repro.experiments.store import MemoryStore
 from repro.gpu.simulator import SimResult
 from repro.serve import jobs as jobstates
@@ -123,11 +124,18 @@ class Scheduler:
         unit tests with no real simulations.
     """
 
-    def __init__(self, store=None, workers: int = 2, trace_dir=None,
+    def __init__(self, store: Any = None, workers: int = 2,
+                 trace_dir: Optional[Union[str, Path]] = None,
                  metrics: Optional[ServeMetrics] = None,
-                 engine: str = "reference", pool=None,
-                 sim_fn=simulate_cell, replay_fn=replay_unit,
-                 predict_fn=predict_unit) -> None:
+                 engine: str = "reference",
+                 pool: Optional[Executor] = None,
+                 sim_fn: Callable[[Cell], Dict[str, Any]] = simulate_cell,
+                 replay_fn: Callable[
+                     [Dict[str, Any], Optional[str]], Dict[str, Any]
+                 ] = replay_unit,
+                 predict_fn: Callable[
+                     [Dict[str, Any], Optional[str]], Dict[str, Any]
+                 ] = predict_unit) -> None:
         self.store = store if store is not None else MemoryStore()
         self.workers = max(1, int(workers))
         self.trace_dir = str(trace_dir) if trace_dir is not None else None
@@ -197,6 +205,9 @@ class Scheduler:
         await asyncio.gather(*self._pumps, return_exceptions=True)
         self._pumps = []
         if self._owns_pool and self._pool is not None:
+            # repro-check: allow(R009) final pool join during shutdown:
+            # the pumps are cancelled and no client work remains, so
+            # blocking the loop here is the intended drain barrier
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
 

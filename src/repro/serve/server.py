@@ -31,11 +31,15 @@ import asyncio
 import json
 import signal
 import threading
-from typing import Any, Dict, Optional, Tuple
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple, Union
 
 from repro.serve.metrics import render_prometheus
 from repro.serve.protocol import ProtocolError, parse_job_request
 from repro.serve.scheduler import DrainingError, Scheduler
+
+if TYPE_CHECKING:
+    from repro.serve.client import ServeClient
 
 #: Largest accepted request body; a sweep grid is a few hundred bytes,
 #: so anything near this is a client bug, not a bigger experiment.
@@ -194,14 +198,14 @@ async def serve_async(
     host: str = "127.0.0.1",
     port: int = 8642,
     workers: int = 2,
-    store=None,
-    trace_dir=None,
+    store: Any = None,
+    trace_dir: Optional[Union[str, Path]] = None,
     engine: str = "reference",
     drain_timeout: Optional[float] = None,
     ready: Optional["threading.Event"] = None,
     stop_event: Optional[asyncio.Event] = None,
     scheduler: Optional[Scheduler] = None,
-    log=print,
+    log: Callable[..., Any] = print,
 ) -> int:
     """Run the service until SIGTERM/SIGINT, then drain and exit.
 
@@ -270,9 +274,10 @@ class ServerThread:
     """
 
     def __init__(self, host: str = "127.0.0.1", workers: int = 1,
-                 store=None, trace_dir=None,
+                 store: Any = None,
+                 trace_dir: Optional[Union[str, Path]] = None,
                  drain_timeout: Optional[float] = 30.0,
-                 **scheduler_kwargs) -> None:
+                 **scheduler_kwargs: Any) -> None:
         self._host = host
         self._workers = workers
         self._store = store
@@ -323,7 +328,7 @@ class ServerThread:
         self._thread.join(timeout=60)
         return self.exit_code
 
-    def client(self, timeout: float = 60.0):
+    def client(self, timeout: float = 60.0) -> ServeClient:
         from repro.serve.client import ServeClient
 
         assert self.port is not None, "server not started"
@@ -332,5 +337,5 @@ class ServerThread:
     def __enter__(self) -> "ServerThread":
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: Any) -> None:
         self.stop()

@@ -23,15 +23,15 @@ import time
 
 def now() -> float:
     """Seconds since the epoch (for mtime comparisons and timestamps)."""
-    return time.time()  # repro-check: allow(R001)
+    return time.time()  # repro-check: allow(R001) sanctioned gateway, see module docstring
 
 
 def monotonic() -> float:
     """Monotonic seconds (for latency/duration measurement)."""
-    return time.monotonic()  # repro-check: allow(R001)
+    return time.monotonic()  # repro-check: allow(R001) sanctioned gateway, see module docstring
 
 
 def perf() -> float:
     """High-resolution monotonic seconds (for phase profiling —
     ``repro profile --scheme`` timing the engine hot path)."""
-    return time.perf_counter()  # repro-check: allow(R001)
+    return time.perf_counter()  # repro-check: allow(R001) sanctioned gateway, see module docstring
