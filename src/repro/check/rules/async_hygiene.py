@@ -28,7 +28,7 @@ from typing import Iterator, List
 
 from repro.check.rules.base import Finding, ModuleSource, Rule, attr_chain
 
-_SCOPED_PACKAGES = ("repro/serve/",)
+_SCOPED_PACKAGES = ("repro/serve/", "repro/loadtest/")
 
 #: Dotted-call suffixes that block the loop outright.
 _BLOCKING_CALLS = {

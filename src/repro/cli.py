@@ -16,6 +16,9 @@ serve      run the long-lived async simulation service (HTTP job API,
 submit     drive a running service: submit cell/sweep/replay jobs,
            poll status, cancel, inspect metrics; ``--predict`` asks for
            instant tier-0 analytical answers with background refinement
+loadtest   drive hundreds/thousands of concurrent clients against a
+           cluster with a zipfian hot/cold mix; measures p50/p99,
+           throughput, coalescing and 429 rates; gates on SLOs
 predict    analytical miss-rate/IPC estimates for an app x scheme grid —
            no cache is stepped; calibrated error bars included
 profile    reuse-distance analysis of one application (Fig. 3/7 style)
@@ -43,6 +46,8 @@ Examples
     python -m repro submit cell BFS dlp --predict --wait
     python -m repro submit status job-000001
     python -m repro submit metrics
+    python -m repro loadtest --clients 1000 --workers 4 --slo-p99 5
+    python -m repro loadtest --clients 200 --workers 2 --kill-worker-after 40
     python -m repro predict --apps BFS,KM --schemes baseline,dlp
     python -m repro profile BFS
     python -m repro trace record BFS --out bfs.rptr --scale 0.5
@@ -197,6 +202,17 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="SECONDS",
                          help="max wait for active jobs on SIGTERM "
                               "(default 30)")
+    p_serve.add_argument("--max-queued", type=int, default=0, metavar="N",
+                         help="bound on queued cells; a submission over "
+                              "the bound gets 429 + Retry-After "
+                              "(default 0 = unbounded)")
+    p_serve.add_argument("--rate", type=float, default=None,
+                         metavar="CELLS_PER_S",
+                         help="per-client token-bucket rate limit "
+                              "(default: off)")
+    p_serve.add_argument("--burst", type=float, default=None, metavar="N",
+                         help="token-bucket burst capacity "
+                              "(default: max(1, rate))")
 
     p_submit = sub.add_parser(
         "submit", help="submit jobs to / inspect a running service"
@@ -246,6 +262,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="tier-0: answer cold cells analytically now "
                             "(with error bars) and refine to exact "
                             "results in the background")
+        p.add_argument("--client", default=None, metavar="NAME",
+                       help="client identity for fair scheduling and "
+                            "rate limiting (default: anonymous)")
 
     s_status = submit_sub.add_parser("status", help="poll one job")
     s_status.add_argument("job_id")
@@ -259,6 +278,68 @@ def build_parser() -> argparse.ArgumentParser:
                            help="raw Prometheus text instead of tables")
 
     submit_sub.add_parser("health", help="service liveness/drain state")
+
+    p_load = sub.add_parser(
+        "loadtest",
+        help="drive concurrent clients against a cluster with a "
+             "zipfian mix and gate on SLOs",
+    )
+    p_load.add_argument("--clients", type=int, default=200,
+                        help="concurrent client coroutines (default 200)")
+    p_load.add_argument("--requests", type=int, default=1, metavar="N",
+                        help="requests per client (default 1)")
+    p_load.add_argument("--population", type=int, default=24,
+                        help="distinct cells in the mix (default 24)")
+    p_load.add_argument("--zipf", type=float, default=1.1,
+                        help="zipf popularity exponent (default 1.1)")
+    p_load.add_argument("--predict-fraction", type=float, default=0.0,
+                        help="fraction of requests on the tier-0 "
+                             "predict path (default 0)")
+    p_load.add_argument("--apps", default="MM,BFS",
+                        help="comma-separated Table 2 abbrs the "
+                             "population cycles through")
+    p_load.add_argument("--schemes", default="baseline,dlp")
+    p_load.add_argument("--sms", type=int, default=1)
+    p_load.add_argument("--scale", type=float, default=0.1)
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument("--workers", type=int, default=4,
+                        help="worker processes for the self-hosted "
+                             "cluster (default 4)")
+    p_load.add_argument("--store", default=None, metavar="DIR",
+                        help="result store for the self-hosted cluster "
+                             "(default: in-memory)")
+    p_load.add_argument("--engine", default="reference",
+                        choices=["reference", "fast"])
+    p_load.add_argument("--max-queued", type=int, default=0)
+    p_load.add_argument("--rate", type=float, default=None)
+    p_load.add_argument("--burst", type=float, default=None)
+    p_load.add_argument("--host", default=None,
+                        help="target an already-running service instead "
+                             "of self-hosting (needs --port)")
+    p_load.add_argument("--port", type=int, default=None)
+    p_load.add_argument("--retries", type=int, default=8)
+    p_load.add_argument("--ramp", type=float, default=0.5,
+                        metavar="SECONDS",
+                        help="client start ramp-up window (default 0.5)")
+    p_load.add_argument("--max-connections", type=int, default=256)
+    p_load.add_argument("--timeout", type=float, default=120.0,
+                        help="per-request deadline in seconds")
+    p_load.add_argument("--kill-worker-after", type=int, default=None,
+                        metavar="N",
+                        help="chaos: SIGKILL one worker after N "
+                             "completed requests (self-hosted only)")
+    p_load.add_argument("--slo-p99", type=float, default=None,
+                        metavar="SECONDS",
+                        help="fail unless p99 latency <= this")
+    p_load.add_argument("--slo-coalescing", type=float, default=None,
+                        metavar="RATE",
+                        help="fail unless coalesced/requested >= this")
+    p_load.add_argument("--slo-max-throttle", type=float, default=None,
+                        metavar="RATE",
+                        help="fail if 429s/request exceed this")
+    p_load.add_argument("--slo-max-failures", type=int, default=0)
+    p_load.add_argument("--json", action="store_true", dest="json_output",
+                        help="print the full report as JSON")
 
     p_pred = sub.add_parser(
         "predict",
@@ -620,7 +701,93 @@ def cmd_serve(args) -> int:
         trace_dir=args.trace_dir,
         engine=args.engine,
         drain_timeout=args.drain_timeout,
+        max_queued=args.max_queued,
+        rate=args.rate,
+        burst=args.burst,
     ))
+
+
+def cmd_loadtest(args) -> int:
+    from repro.loadtest import (
+        LoadTestConfig,
+        MixConfig,
+        SloConfig,
+        run_loadtest,
+    )
+
+    apps = tuple(a.strip().upper() for a in args.apps.split(",") if a.strip())
+    schemes = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
+    config = LoadTestConfig(
+        clients=args.clients,
+        requests_per_client=args.requests,
+        mix=MixConfig(
+            population=args.population,
+            zipf_exponent=args.zipf,
+            predict_fraction=args.predict_fraction,
+            apps=apps,
+            schemes=schemes,
+            sms=args.sms,
+            scale=args.scale,
+            seed=args.seed,
+        ),
+        slo=SloConfig(
+            p99_s=args.slo_p99,
+            min_coalescing_rate=args.slo_coalescing,
+            max_throttled_rate=args.slo_max_throttle,
+            max_failures=args.slo_max_failures,
+        ),
+        workers=args.workers,
+        store=args.store,
+        engine=args.engine,
+        max_queued=args.max_queued,
+        rate=args.rate,
+        burst=args.burst,
+        host=args.host,
+        port=args.port,
+        retries=args.retries,
+        ramp_seconds=args.ramp,
+        max_connections=args.max_connections,
+        request_timeout=args.timeout,
+        kill_worker_after=args.kill_worker_after,
+    )
+    report = run_loadtest(config)
+    if args.json_output:
+        import json as _json
+
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0 if report.passed else 1
+
+    doc = report.to_dict()
+    lat = doc["latency_s"]
+    rows = [
+        ("clients x requests", f"{report.clients} x "
+                               f"{args.requests} = {report.requests}"),
+        ("workers", str(report.workers)),
+        ("completed / failed", f"{report.completed} / {report.failed}"),
+        ("wall / throughput", f"{doc['wall_s']}s / "
+                              f"{doc['throughput_rps']} req/s"),
+        ("latency p50/p95/p99", f"{lat['p50']} / {lat['p95']} / "
+                                f"{lat['p99']} s"),
+        ("latency max", f"{lat['max']} s"),
+        ("coalescing rate", f"{doc['coalescing_rate']}"),
+        ("store-hit rate", f"{doc['store_hit_rate']}"),
+        ("429 responses", str(report.throttled_responses)),
+        ("predict answers", str(report.predict_answers)),
+        ("requeued / restarts", f"{report.cells_requeued} / "
+                                f"{report.worker_restarts}"),
+    ]
+    if args.kill_worker_after is not None:
+        rows.append(("worker killed", str(report.worker_killed)))
+    print(ascii_table(["metric", "value"], rows, title="repro loadtest"))
+    for failure in report.failures[:5]:
+        print(f"failure: {failure}", file=sys.stderr)
+    if report.violations:
+        for violation in report.violations:
+            print(f"SLO violation: {violation}", file=sys.stderr)
+        print("loadtest: FAIL")
+        return 1
+    print("loadtest: PASS")
+    return 0
 
 
 def _render_job(doc) -> str:
@@ -683,7 +850,9 @@ def cmd_submit(args) -> int:
         sweep_request,
     )
 
-    client = ServeClient(host=args.host, port=args.port)
+    # transparent backoff on 429/transport errors (off in the library
+    # default so tests observe raw responses; on for the human CLI)
+    client = ServeClient(host=args.host, port=args.port, retries=3)
     cmd = args.submit_command
 
     if cmd == "health":
@@ -742,14 +911,14 @@ def cmd_submit(args) -> int:
                             max_cycles=args.max_cycles,
                             priority=args.priority,
                             non_blocking=args.non_blocking,
-                            predict=args.predict)
+                            predict=args.predict, client=args.client)
     elif cmd == "sweep":
         body = sweep_request(
             [a.strip() for a in args.apps.split(",") if a.strip()],
             [s.strip() for s in args.schemes.split(",") if s.strip()],
             sms=args.sms, scale=args.scale, seed=args.seed,
             priority=args.priority, non_blocking=args.non_blocking,
-            predict=args.predict,
+            predict=args.predict, client=args.client,
         )
     else:  # replay
         body = replay_request(
@@ -757,7 +926,7 @@ def cmd_submit(args) -> int:
             [s.strip() for s in args.schemes.split(",") if s.strip()],
             sms=args.sms, scale=args.scale, seed=args.seed,
             priority=args.priority, non_blocking=args.non_blocking,
-            predict=args.predict,
+            predict=args.predict, client=args.client,
         )
     job = client.submit(body)
     print(f"submitted {job['id']} ({job['kind']}, {job['units']} units, "
@@ -1068,6 +1237,7 @@ _COMMANDS = {
     "store": cmd_store,
     "serve": cmd_serve,
     "submit": cmd_submit,
+    "loadtest": cmd_loadtest,
     "predict": cmd_predict,
     "profile": cmd_profile,
     "trace": cmd_trace,

@@ -298,6 +298,8 @@ class ResultStore:
         for path in sorted(self.root.glob("*.json")):
             try:
                 payload = json.loads(path.read_text())
+            except FileNotFoundError:  # pruned/cleared by another worker
+                continue
             except json.JSONDecodeError:  # torn/foreign file: skip, don't die
                 continue
             entries.append({"key": path.stem, **payload.get("meta", {})})
@@ -306,8 +308,7 @@ class ResultStore:
     def clear(self) -> int:
         count = 0
         for path in self.root.glob("*.json"):
-            path.unlink()
-            count += 1
+            count += self._try_unlink(path)
         return count
 
     def prune(

@@ -1,0 +1,175 @@
+"""Asyncio HTTP client for the simulation service.
+
+The blocking :class:`repro.serve.client.ServeClient` holds one thread
+per caller; a load test needs thousands of concurrent clients, so this
+module speaks the same minimal HTTP/1.1 (``Connection: close``, JSON
+bodies) directly over ``asyncio.open_connection``.
+
+Retry semantics mirror the blocking client: exponential backoff with
+full jitter for transport failures, and ``429 Too Many Requests``
+honours the server's fractional ``Retry-After`` hint.  An optional
+shared semaphore bounds *concurrent connections* (not in-flight
+logical requests), so a thousand pollers cannot exhaust the listen
+backlog or the process's file descriptors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from repro.utils.rng import DeterministicRng
+
+
+class LoadClientError(RuntimeError):
+    """Transport failure that survived every retry."""
+
+
+class AsyncServeClient:
+    """One logical client; open a fresh connection per request."""
+
+    def __init__(self, host: str, port: int, timeout: float = 120.0,
+                 retries: int = 6, backoff_base: float = 0.2,
+                 backoff_cap: float = 2.0,
+                 rng: Optional[DeterministicRng] = None,
+                 semaphore: Optional[asyncio.Semaphore] = None) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = rng if rng is not None \
+            else DeterministicRng("loadtest-client-backoff")
+        self._sem = semaphore
+        #: Telemetry: 429 responses observed (before retrying) and
+        #: transport errors absorbed by retries.
+        self.throttled = 0
+        self.transport_errors = 0
+
+    async def request(self, method: str, path: str,
+                      body: Optional[Dict[str, Any]] = None,
+                      ) -> Tuple[int, Any]:
+        """One logical request; returns (final status, decoded body)."""
+        attempt = 0
+        while True:
+            try:
+                status, decoded, retry_after = \
+                    await self._roundtrip(method, path, body)
+            except (OSError, asyncio.TimeoutError,
+                    asyncio.IncompleteReadError) as exc:
+                if attempt >= self.retries:
+                    raise LoadClientError(
+                        f"{method} {path} failed after "
+                        f"{attempt + 1} attempts: "
+                        f"{type(exc).__name__}: {exc}"
+                    ) from exc
+                self.transport_errors += 1
+                delay = self._backoff(attempt, None)
+            else:
+                if status != 429:
+                    return status, decoded
+                self.throttled += 1
+                if attempt >= self.retries:
+                    return status, decoded
+                delay = self._backoff(attempt, retry_after)
+            attempt += 1
+            await asyncio.sleep(delay)
+
+    async def _roundtrip(self, method: str, path: str,
+                         body: Optional[Dict[str, Any]],
+                         ) -> Tuple[int, Any, Optional[float]]:
+        if self._sem is not None:
+            async with self._sem:
+                return await asyncio.wait_for(
+                    self._exchange(method, path, body), self.timeout)
+        return await asyncio.wait_for(
+            self._exchange(method, path, body), self.timeout)
+
+    async def _exchange(self, method: str, path: str,
+                        body: Optional[Dict[str, Any]],
+                        ) -> Tuple[int, Any, Optional[float]]:
+        """One wire round trip, framed by ``Content-Length``.
+
+        Deliberately NOT framed by EOF: the self-hosted harness runs
+        client, server and the scheduler's process pool in one process,
+        and a worker forked while this connection is in flight inherits
+        its fd — the server's close then never reaches FIN, so a
+        ``read()``-to-EOF client hangs until its timeout even though
+        the full response arrived.  Reading exactly the advertised body
+        length sidesteps the pinned socket entirely.
+        """
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            payload = json.dumps(body).encode("utf-8") \
+                if body is not None else b""
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("ascii") + payload)
+            await writer.drain()
+            raw_head = await reader.readuntil(b"\r\n\r\n")
+            status, headers, retry_after = self._parse_head(raw_head)
+            length_text = headers.get("content-length")
+            if length_text is None:
+                raw_body = await reader.read(-1)      # EOF-framed fallback
+            else:
+                try:
+                    length = int(length_text)
+                except ValueError:
+                    raise OSError(
+                        f"bad Content-Length: {length_text!r}") from None
+                raw_body = await reader.readexactly(length) if length \
+                    else b""
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        return status, self._decode(headers, raw_body), retry_after
+
+    @staticmethod
+    def _parse_head(raw: bytes) -> Tuple[int, Dict[str, str],
+                                         Optional[float]]:
+        """Status line + headers + parsed ``Retry-After`` hint."""
+        lines = raw.decode("ascii", "replace").split("\r\n")
+        parts = lines[0].split()
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise OSError(f"malformed response line: {lines[0]!r}")
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        retry_after: Optional[float] = None
+        raw_hint = headers.get("retry-after")
+        if raw_hint is not None:
+            try:
+                retry_after = float(raw_hint)
+            except ValueError:
+                pass
+        return status, headers, retry_after
+
+    @staticmethod
+    def _decode(headers: Dict[str, str], body: bytes) -> Any:
+        decoded: Any = body.decode("utf-8", "replace")
+        if "json" in headers.get("content-type", ""):
+            try:
+                decoded = json.loads(decoded) if decoded else None
+            except ValueError:
+                pass    # surface the raw text; callers check status
+        return decoded
+
+    def _backoff(self, attempt: int, retry_after: Optional[float]) -> float:
+        if retry_after is not None:
+            return min(self.backoff_cap, max(0.0, retry_after))
+        ceiling = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+        return float(self._rng.random()) * ceiling

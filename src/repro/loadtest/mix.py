@@ -1,0 +1,69 @@
+"""Deterministic zipfian request mixes for the loadtest harness.
+
+A mix is a *population* of distinct cells (each a valid ``POST /jobs``
+body) plus a *schedule*: which population member each request hits and
+whether it takes the tier-0 predict path.  Popularity over the
+population is zipfian — rank 0 is requested far more often than the
+tail — so a run naturally exercises all three serving tiers: the head
+ranks coalesce while cold and then hit the store warm, the tail stays
+cold, and a configurable fraction is answered analytically.
+
+Everything derives from :class:`~repro.utils.rng.DeterministicRng`
+seeded by the mix seed, so two runs of the same config issue the
+byte-identical request sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.serve.protocol import cell_request
+from repro.utils.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class MixConfig:
+    """Shape of the synthetic traffic."""
+
+    #: Number of distinct cells; popularity rank == population index.
+    population: int = 24
+    zipf_exponent: float = 1.1
+    #: Fraction of requests submitted with ``predict: true`` (tier-0).
+    predict_fraction: float = 0.0
+    apps: Tuple[str, ...] = ("MM", "BFS")
+    schemes: Tuple[str, ...] = ("baseline", "dlp")
+    sms: int = 1
+    scale: float = 0.1
+    seed: int = 0
+
+
+def build_population(mix: MixConfig) -> List[Dict[str, Any]]:
+    """The distinct cells, as submit-ready job bodies (rank order).
+
+    Each member varies the workload seed, so every rank is a distinct
+    content address — a member is "hot" only because the zipfian
+    schedule keeps requesting it, exactly like production traffic.
+    """
+    bodies: List[Dict[str, Any]] = []
+    for rank in range(mix.population):
+        app = mix.apps[rank % len(mix.apps)]
+        scheme = mix.schemes[(rank // len(mix.apps)) % len(mix.schemes)]
+        bodies.append(cell_request(
+            app, scheme, sms=mix.sms, scale=mix.scale,
+            seed=mix.seed * 100003 + rank,
+        ))
+    return bodies
+
+
+def build_schedule(mix: MixConfig,
+                   total_requests: int) -> List[Tuple[int, bool]]:
+    """Per-request plan: (population rank, predict?) for each slot."""
+    rng = DeterministicRng("loadtest-mix", salt=mix.seed)
+    ranks = rng.zipf_indices(mix.population, total_requests,
+                             exponent=mix.zipf_exponent)
+    draws = rng.random(total_requests)
+    return [
+        (int(rank), bool(draw < mix.predict_fraction))
+        for rank, draw in zip(ranks, draws)
+    ]

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import os
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -27,6 +28,7 @@ from repro.serve.protocol import (  # noqa: F401  (re-exported convenience)
     sweep_request,
 )
 from repro.utils import wallclock
+from repro.utils.rng import DeterministicRng
 
 
 class ServeError(RuntimeError):
@@ -53,20 +55,65 @@ class JobFailedError(ServeError):
 
 
 class ServeClient:
-    """Talk to one ``repro serve`` instance."""
+    """Talk to one ``repro serve`` instance.
+
+    ``retries`` > 0 turns on transparent retry for transport failures
+    and ``429 Too Many Requests``: exponential backoff with full jitter
+    (AWS style — sleep a uniform fraction of the doubling ceiling), and
+    a server-provided ``Retry-After`` wins over the computed backoff.
+    Off by default so tests observe every response; ``repro submit``
+    and the loadtest harness turn it on.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8642,
-                 timeout: float = 60.0) -> None:
+                 timeout: float = 60.0, retries: int = 0,
+                 backoff_base: float = 0.25, backoff_cap: float = 5.0,
+                 rng: Optional[DeterministicRng] = None) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = rng
+        #: Telemetry for callers: how many 429s / transport errors were
+        #: absorbed by retries over this client's lifetime.
+        self.retried_throttles = 0
+        self.retried_errors = 0
 
     # -- transport -----------------------------------------------------
 
     def request(self, method: str, path: str,
                 body: Optional[Dict[str, Any]] = None,
                 ) -> Tuple[int, Any]:
-        """One HTTP round trip; returns (status, decoded body)."""
+        """One logical HTTP request; returns (status, decoded body).
+
+        With ``retries`` enabled this may perform several round trips;
+        the returned status is the final one (so a 429 that survives
+        every retry is still surfaced to the caller).
+        """
+        attempt = 0
+        while True:
+            try:
+                status, decoded, retry_after = \
+                    self._roundtrip(method, path, body)
+            except ServeError:
+                if attempt >= self.retries:
+                    raise
+                self.retried_errors += 1
+                delay = self._backoff(attempt, None)
+            else:
+                if status != 429 or attempt >= self.retries:
+                    return status, decoded
+                self.retried_throttles += 1
+                delay = self._backoff(attempt, retry_after)
+            attempt += 1
+            time.sleep(delay)
+
+    def _roundtrip(self, method: str, path: str,
+                   body: Optional[Dict[str, Any]],
+                   ) -> Tuple[int, Any, Optional[float]]:
+        """One HTTP round trip; returns (status, body, Retry-After)."""
         conn = http.client.HTTPConnection(self.host, self.port,
                                           timeout=self.timeout)
         try:
@@ -94,7 +141,24 @@ class ServeClient:
                     f"malformed JSON from service: {exc}",
                     status=response.status,
                 ) from exc
-        return response.status, decoded
+        retry_after: Optional[float] = None
+        header = response.getheader("Retry-After")
+        if header is not None:
+            try:
+                retry_after = float(header)
+            except ValueError:
+                pass
+        return response.status, decoded, retry_after
+
+    def _backoff(self, attempt: int, retry_after: Optional[float]) -> float:
+        if retry_after is not None:
+            return min(self.backoff_cap, max(0.0, retry_after))
+        if self._rng is None:
+            # deterministic per process, decorrelated across processes
+            self._rng = DeterministicRng("serve-client-backoff",
+                                         salt=os.getpid())
+        ceiling = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+        return float(self._rng.random()) * ceiling
 
     def _get(self, path: str) -> Any:
         return self._checked("GET", path, None)

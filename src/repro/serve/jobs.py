@@ -66,13 +66,16 @@ class Job:
              if value == self.request.priority),
             str(self.request.priority),
         )
-        return {
+        doc = {
             "id": self.id,
             "kind": self.request.kind,
             "priority": priority_name,
             "state": self.state,
             "units": len(self.request.units),
         }
+        if self.request.client != "anonymous":
+            doc["client"] = self.request.client
+        return doc
 
     def status(self, include_results: bool = True) -> Dict[str, Any]:
         """Full status document (``GET /jobs/<id>``)."""

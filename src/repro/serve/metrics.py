@@ -74,12 +74,19 @@ class ServeMetrics:
     jobs_failed: int = 0
     jobs_cancelled: int = 0
     jobs_rejected: int = 0          # submissions refused while draining
+    # cluster admission control (HTTP 429 + Retry-After)
+    jobs_throttled_queue: int = 0   # refused: admission queue full
+    jobs_throttled_rate: int = 0    # refused: client over its token bucket
 
     cells_requested: int = 0        # every unit a job asked for
     cells_coalesced: int = 0        # attached to an in-flight execution
     cells_store_hits: int = 0       # served warm from the result store
     cells_simulated: int = 0        # executed cold on a worker
     cells_failed: int = 0
+    cells_requeued: int = 0         # re-admitted after a worker crash
+
+    # worker-pool supervision (ClusterScheduler)
+    worker_restarts: int = 0        # pool replaced after a crash
 
     # tier-0 analytical serving (``predict: true`` jobs)
     predict_answers: int = 0        # analytical answers returned
@@ -109,8 +116,11 @@ class ServeMetrics:
         store_stats: Optional[Dict[str, int]] = None,
         draining: bool = False,
         uptime: Optional[float] = None,
+        workers: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
         """One coherent JSON document for the ``/metrics`` endpoint."""
+        workers_doc: Dict[str, Any] = {"restarts_total": self.worker_restarts}
+        workers_doc.update(workers or {})
         doc: Dict[str, Any] = {
             "jobs": {
                 "submitted": self.jobs_submitted,
@@ -119,6 +129,8 @@ class ServeMetrics:
                 "failed": self.jobs_failed,
                 "cancelled": self.jobs_cancelled,
                 "rejected": self.jobs_rejected,
+                "throttled_queue": self.jobs_throttled_queue,
+                "throttled_rate": self.jobs_throttled_rate,
             },
             "cells": {
                 "requested": self.cells_requested,
@@ -126,6 +138,7 @@ class ServeMetrics:
                 "store_hits": self.cells_store_hits,
                 "simulated": self.cells_simulated,
                 "failed": self.cells_failed,
+                "requeued": self.cells_requeued,
                 "queued": queued,
                 "running": running,
             },
@@ -133,6 +146,7 @@ class ServeMetrics:
                 "answers_total": self.predict_answers,
                 "refinements_total": self.refinements,
             },
+            "workers": workers_doc,
             "store": dict(store_stats or {}),
             "queue_wait_seconds": self.queue_wait.snapshot(),
             "supersede_latency_seconds": self.supersede_latency.snapshot(),
@@ -155,7 +169,7 @@ def render_prometheus(snapshot: Dict[str, Any]) -> str:
     def counter(name: str, value: Any, labels: str = "") -> None:
         lines.append(f"repro_serve_{name}{labels} {value}")
 
-    for group in ("jobs", "cells", "predict", "store"):
+    for group in ("jobs", "cells", "predict", "workers", "store"):
         for key, value in snapshot.get(group, {}).items():
             counter(f"{group}_{key}", value)
     counter("draining", int(bool(snapshot.get("draining"))))

@@ -191,6 +191,10 @@ class JobRequest:
     #: scheduler refine it to an exact result in the background.  Never
     #: part of a unit's identity — the store keys are unchanged.
     predict: bool = False
+    #: Self-reported client identity.  The cluster scheduler keys its
+    #: token buckets and weighted-fair queueing on it; never part of a
+    #: unit's identity or store key.
+    client: str = "anonymous"
 
     def describe(self) -> Dict[str, Any]:
         doc = {
@@ -200,6 +204,8 @@ class JobRequest:
         }
         if self.predict:
             doc["predict"] = True
+        if self.client != "anonymous":
+            doc["client"] = self.client
         return doc
 
 
@@ -212,6 +218,7 @@ def cell_request(app: str, scheme: str, *, sms: int = 4, scale: float = 1.0,
                  priority: Optional[str] = None,
                  policy_kwargs: Optional[Mapping[str, Any]] = None,
                  non_blocking: bool = False, predict: bool = False,
+                 client: Optional[str] = None,
                  ) -> Dict[str, Any]:
     body: Dict[str, Any] = {
         "kind": "cell", "app": app, "scheme": scheme, "sms": sms,
@@ -227,6 +234,8 @@ def cell_request(app: str, scheme: str, *, sms: int = 4, scale: float = 1.0,
         body["non_blocking"] = True
     if predict:
         body["predict"] = True
+    if client is not None:
+        body["client"] = client
     return body
 
 
@@ -234,6 +243,7 @@ def sweep_request(apps: Iterable[str], schemes: Iterable[str], *,
                   sms: int = 4, scale: float = 1.0,
                   seed: int = 0, priority: Optional[str] = None,
                   non_blocking: bool = False, predict: bool = False,
+                  client: Optional[str] = None,
                   ) -> Dict[str, Any]:
     body: Dict[str, Any] = {
         "kind": "sweep", "apps": list(apps), "schemes": list(schemes),
@@ -245,6 +255,8 @@ def sweep_request(apps: Iterable[str], schemes: Iterable[str], *,
         body["non_blocking"] = True
     if predict:
         body["predict"] = True
+    if client is not None:
+        body["client"] = client
     return body
 
 
@@ -252,10 +264,11 @@ def replay_request(apps: Iterable[str], schemes: Iterable[str], *,
                    sms: int = 4, scale: float = 1.0,
                    seed: int = 0, priority: Optional[str] = None,
                    non_blocking: bool = False, predict: bool = False,
+                   client: Optional[str] = None,
                    ) -> Dict[str, Any]:
     body = sweep_request(apps, schemes, sms=sms, scale=scale, seed=seed,
                          priority=priority, non_blocking=non_blocking,
-                         predict=predict)
+                         predict=predict, client=client)
     body["kind"] = "replay"
     return body
 
@@ -316,6 +329,13 @@ def parse_job_request(payload: Any) -> JobRequest:
     predict = payload.get("predict", False)
     if not isinstance(predict, bool):
         raise ProtocolError("predict must be a boolean")
+    client = payload.get("client", "anonymous")
+    if not isinstance(client, str) or not client.strip() \
+            or len(client) > 64:
+        raise ProtocolError(
+            "client must be a non-empty string of at most 64 characters"
+        )
+    client = client.strip()
     if predict and non_blocking:
         raise ProtocolError(
             "predict has no analytical model for the non-blocking L1D; "
@@ -340,7 +360,7 @@ def parse_job_request(payload: Any) -> JobRequest:
     ]
     priority = _parse_priority(payload.get("priority"), len(units))
     return JobRequest(kind=kind, priority=priority, units=units,
-                      predict=predict)
+                      predict=predict, client=client)
 
 
 def _parse_names(payload: Dict[str, Any], singular: str, plural: str,

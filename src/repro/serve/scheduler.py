@@ -85,7 +85,8 @@ class _CellEntry:
     """One in-flight cell execution, shared by all coalesced waiters."""
 
     __slots__ = ("key", "spec", "future", "subscribers", "enqueued_at",
-                 "started", "abandoned", "predicted_at")
+                 "started", "abandoned", "predicted_at", "client",
+                 "priority", "requeues", "pool_gen")
 
     def __init__(self, key: str, spec: UnitSpec,
                  future: "asyncio.Future[Dict[str, Any]]") -> None:
@@ -99,6 +100,15 @@ class _CellEntry:
         #: When an analytical answer was returned for this cell (tier-0)
         #: — the exact result's arrival closes the supersede histogram.
         self.predicted_at: Optional[float] = None
+        #: Submitting client identity (fair-scheduling tag) and the
+        #: admission priority, recorded by ``_enqueue`` so a recovered
+        #: cell re-enters the queue exactly where it would have been.
+        self.client = "anonymous"
+        self.priority = 0
+        #: Crash-recovery bookkeeping: how many times this cell went
+        #: back in the queue, and which pool generation ran it last.
+        self.requeues = 0
+        self.pool_gen = 0
 
 
 class Scheduler:
@@ -152,6 +162,10 @@ class Scheduler:
         self.jobs: Dict[str, Job] = {}
         self._job_seq = 0
         self._queue_seq = 0
+        #: Bumped each time the worker pool is replaced after a crash
+        #: (see ClusterScheduler); entries record the generation that
+        #: ran them so one broken pool triggers exactly one restart.
+        self._pool_gen = 0
         self.draining = False
         self.started_at = wallclock.monotonic()
 
@@ -162,7 +176,7 @@ class Scheduler:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
         self._pumps = [
-            asyncio.create_task(self._pump(), name=f"serve-pump-{i}")
+            asyncio.create_task(self._pump(i), name=f"serve-pump-{i}")
             for i in range(self.workers)
         ]
 
@@ -241,6 +255,7 @@ class Scheduler:
             asyncio.create_task(self._resolve_unit(
                 unit, job.request.priority,
                 predict=job.request.predict,
+                client=job.request.client,
             ))
             for unit in job.request.units
         ]
@@ -283,11 +298,12 @@ class Scheduler:
     # -- unit resolution -----------------------------------------------
 
     async def _resolve_unit(self, unit: UnitSpec, priority: int,
-                            predict: bool = False) -> Dict[str, Any]:
+                            predict: bool = False,
+                            client: str = "anonymous") -> Dict[str, Any]:
         self.metrics.cells_requested += 1
         key = unit.key()
         if predict:
-            return await self._resolve_predicted(unit, key)
+            return await self._resolve_predicted(unit, key, client)
 
         entry = self._in_flight.get(key)
         if entry is not None:
@@ -302,13 +318,12 @@ class Scheduler:
 
         entry = _CellEntry(key, unit, asyncio.get_running_loop().create_future())
         self._in_flight[key] = entry
-        self._queue_seq += 1
-        assert self._queue is not None, "Scheduler.start() was never awaited"
-        self._queue.put_nowait((priority, self._queue_seq, entry))
+        self._enqueue(entry, priority, client)
         return await self._await_entry(entry)
 
-    async def _resolve_predicted(self, unit: UnitSpec,
-                                 key: str) -> Dict[str, Any]:
+    async def _resolve_predicted(self, unit: UnitSpec, key: str,
+                                 client: str = "anonymous",
+                                 ) -> Dict[str, Any]:
         """Tier-0: exact from the store if warm, else an instant
         analytical answer plus a background exact refinement."""
         cached = self.store.get(key)
@@ -318,21 +333,29 @@ class Scheduler:
             payload["tier"] = "exact"   # response-only; never stored
             return payload
         loop = asyncio.get_running_loop()
-        try:
-            payload = await loop.run_in_executor(
-                self._pool, self._predict_fn,
-                unit.worker_payload(), self.trace_dir,
-            )
-        except asyncio.CancelledError:
-            raise
-        except Exception as exc:
-            self.metrics.cells_failed += 1
-            raise UnitExecutionError(unit, key, exc) from exc
+        attempts = 0
+        while True:
+            pool_gen = self._pool_gen
+            try:
+                payload = await loop.run_in_executor(
+                    self._pool, self._predict_fn,
+                    unit.worker_payload(), self.trace_dir,
+                )
+                break
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                if self._recover_predict(pool_gen, exc, attempts):
+                    attempts += 1
+                    continue
+                self.metrics.cells_failed += 1
+                raise UnitExecutionError(unit, key, exc) from exc
         self.metrics.predict_answers += 1
-        self._ensure_refinement(unit, key)
+        self._ensure_refinement(unit, key, client)
         return payload
 
-    def _ensure_refinement(self, unit: UnitSpec, key: str) -> None:
+    def _ensure_refinement(self, unit: UnitSpec, key: str,
+                           client: str = "anonymous") -> None:
         """Queue the exact execution behind an analytical answer (once
         per cell: a refinement or plain request already in flight is
         reused, and later plain requests coalesce onto it as usual)."""
@@ -349,10 +372,7 @@ class Scheduler:
                 lambda f: f.exception() if not f.cancelled() else None
             )
             self._in_flight[key] = entry
-            self._queue_seq += 1
-            assert self._queue is not None, \
-                "Scheduler.start() was never awaited"
-            self._queue.put_nowait((PRIORITY_REFINE, self._queue_seq, entry))
+            self._enqueue(entry, PRIORITY_REFINE, client)
             self.metrics.refinements += 1
         if entry.predicted_at is None:
             entry.predicted_at = wallclock.monotonic()
@@ -368,13 +388,47 @@ class Scheduler:
                 self._in_flight.pop(entry.key, None)
             raise
 
+    # -- queue discipline (override points for ClusterScheduler) -------
+
+    def _enqueue(self, entry: _CellEntry, priority: int,
+                 client: str) -> None:
+        """Admit one cold cell to the execution queue."""
+        entry.priority = priority
+        entry.client = client
+        assert self._queue is not None, "Scheduler.start() was never awaited"
+        self._queue_seq += 1
+        self._queue.put_nowait((priority, self._queue_seq, entry))
+
+    async def _dequeue(self, index: int) -> _CellEntry:
+        """Take the next cell for pump ``index`` (one pump per worker)."""
+        assert self._queue is not None
+        _priority, _seq, entry = await self._queue.get()
+        return entry
+
+    def _task_done(self, index: int) -> None:
+        assert self._queue is not None
+        self._queue.task_done()
+
+    def _recover(self, entry: _CellEntry, exc: BaseException) -> bool:
+        """Give a failed execution a second chance (crash recovery).
+
+        Returns True when the cell was requeued and the failure must
+        not settle its future.  The base scheduler never recovers;
+        ClusterScheduler requeues cells whose worker process died.
+        """
+        return False
+
+    def _recover_predict(self, pool_gen: int, exc: BaseException,
+                         attempts: int) -> bool:
+        """Same, for the in-loop tier-0 predict path."""
+        return False
+
     # -- worker pumps --------------------------------------------------
 
-    async def _pump(self) -> None:
-        assert self._queue is not None
+    async def _pump(self, index: int) -> None:
         loop = asyncio.get_running_loop()
         while True:
-            _priority, _seq, entry = await self._queue.get()
+            entry = await self._dequeue(index)
             try:
                 if entry.abandoned:
                     continue
@@ -384,12 +438,13 @@ class Scheduler:
                 )
                 await self._execute(loop, entry)
             finally:
-                self._queue.task_done()
+                self._task_done(index)
 
     async def _execute(self, loop: asyncio.AbstractEventLoop,
                        entry: _CellEntry) -> None:
         spec = entry.spec
         t0 = wallclock.monotonic()
+        entry.pool_gen = self._pool_gen
         try:
             if spec.mode == MODE_REPLAY:
                 worker_payload = dict(spec.worker_payload())
@@ -405,6 +460,8 @@ class Scheduler:
         except asyncio.CancelledError:
             raise
         except Exception as exc:
+            if self._recover(entry, exc):
+                return
             self.metrics.cells_failed += 1
             self._settle(entry,
                          error=UnitExecutionError(spec, entry.key, exc))
@@ -457,6 +514,7 @@ class Scheduler:
             store_stats=store_stats.as_dict() if store_stats else None,
             draining=self.draining,
             uptime=wallclock.monotonic() - self.started_at,
+            workers={"configured": self.workers},
         )
 
     def health(self) -> Dict[str, Any]:

@@ -34,6 +34,7 @@ import threading
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple, Union
 
+from repro.serve.cluster import ClusterScheduler, RetryableError
 from repro.serve.metrics import render_prometheus
 from repro.serve.protocol import ProtocolError, parse_job_request
 from repro.serve.scheduler import DrainingError, Scheduler
@@ -48,8 +49,13 @@ MAX_BODY_BYTES = 1 << 20
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error", 503: "Service Unavailable",
 }
+
+#: What every handler returns: status, body, content type, and any
+#: extra response headers (e.g. ``Retry-After`` on a 429).
+Response = Tuple[int, str, str, Dict[str, str]]
 
 
 class ServeApp:
@@ -62,18 +68,25 @@ class ServeApp:
 
     async def handle(self, reader: asyncio.StreamReader,
                      writer: asyncio.StreamWriter) -> None:
+        extra_headers: Dict[str, str] = {}
         try:
-            status, body, content_type = await self._respond(reader)
+            status, body, content_type, extra_headers = \
+                await self._respond(reader)
         except Exception as exc:  # a handler bug must not kill the server
             status = 500
             body = json.dumps({"error": f"{type(exc).__name__}: {exc}"})
             content_type = "application/json"
         try:
             payload = body.encode("utf-8")
+            extra = "".join(
+                f"{name}: {value}\r\n"
+                for name, value in extra_headers.items()
+            )
             writer.write(
                 f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
                 f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(payload)}\r\n"
+                f"{extra}"
                 f"Connection: close\r\n\r\n".encode("ascii") + payload
             )
             await writer.drain()
@@ -88,12 +101,12 @@ class ServeApp:
 
     async def _respond(
         self, reader: asyncio.StreamReader
-    ) -> Tuple[int, str, str]:
+    ) -> Response:
         request_line = (await reader.readline()).decode("ascii", "replace")
         parts = request_line.split()
         if len(parts) < 2:
             return 400, json.dumps({"error": "malformed request line"}), \
-                "application/json"
+                "application/json", {}
         method, target = parts[0].upper(), parts[1]
         content_length = 0
         while True:
@@ -106,10 +119,11 @@ class ServeApp:
                     content_length = int(value.strip())
                 except ValueError:
                     return 400, json.dumps(
-                        {"error": "bad Content-Length"}), "application/json"
+                        {"error": "bad Content-Length"}), \
+                        "application/json", {}
         if content_length > MAX_BODY_BYTES:
             return 413, json.dumps(
-                {"error": "request body too large"}), "application/json"
+                {"error": "request body too large"}), "application/json", {}
         body = await reader.readexactly(content_length) \
             if content_length else b""
         path, _, query = target.partition("?")
@@ -118,8 +132,8 @@ class ServeApp:
     # -- routing -------------------------------------------------------
 
     def route(self, method: str, path: str, query: str,
-              body: bytes) -> Tuple[int, str, str]:
-        """Dispatch one request; returns (status, body, content-type)."""
+              body: bytes) -> Response:
+        """Dispatch one request; returns (status, body, type, headers)."""
         if path == "/healthz":
             if method != "GET":
                 return self._error(405, "use GET")
@@ -131,7 +145,7 @@ class ServeApp:
             snapshot = self.scheduler.metrics_snapshot()
             if "format=prom" in query:
                 return 200, render_prometheus(snapshot), \
-                    "text/plain; version=0.0.4"
+                    "text/plain; version=0.0.4", {}
             return self._json(200, snapshot)
 
         if path == "/jobs":
@@ -166,7 +180,7 @@ class ServeApp:
 
         return self._error(404, f"no route for {path!r}")
 
-    def _submit(self, body: bytes) -> Tuple[int, str, str]:
+    def _submit(self, body: bytes) -> Response:
         try:
             payload = json.loads(body.decode("utf-8")) if body else None
         except (ValueError, UnicodeDecodeError):
@@ -179,15 +193,25 @@ class ServeApp:
             job = self.scheduler.submit(request)
         except DrainingError as exc:
             return self._error(503, str(exc))
+        except RetryableError as exc:
+            # Retry-After is fractional seconds: nonstandard HTTP but
+            # exact — every consumer is our own client/loadtest stack.
+            return self._error(
+                429, str(exc),
+                headers={"Retry-After": f"{exc.retry_after:.3f}"},
+            )
         return self._json(200, job.summary())
 
     @staticmethod
-    def _json(status: int, doc: Dict[str, Any]) -> Tuple[int, str, str]:
-        return status, json.dumps(doc, sort_keys=True), "application/json"
+    def _json(status: int, doc: Dict[str, Any]) -> Response:
+        return status, json.dumps(doc, sort_keys=True), \
+            "application/json", {}
 
     @staticmethod
-    def _error(status: int, message: str) -> Tuple[int, str, str]:
-        return status, json.dumps({"error": message}), "application/json"
+    def _error(status: int, message: str,
+               headers: Optional[Dict[str, str]] = None) -> Response:
+        return status, json.dumps({"error": message}), \
+            "application/json", dict(headers or {})
 
 
 # ----------------------------------------------------------------------
@@ -206,21 +230,27 @@ async def serve_async(
     stop_event: Optional[asyncio.Event] = None,
     scheduler: Optional[Scheduler] = None,
     log: Callable[..., Any] = print,
+    max_queued: int = 0,
+    rate: Optional[float] = None,
+    burst: Optional[float] = None,
 ) -> int:
     """Run the service until SIGTERM/SIGINT, then drain and exit.
 
     ``store`` is anything :func:`repro.experiments.store.open_store`
     accepts — or an already-open store object.  ``engine`` picks the
     workers' L1D implementation (results are engine-independent).
-    Returns the process exit code (0 = drained clean, 1 = drain timed
-    out and remaining jobs were cancelled).
+    ``max_queued``/``rate``/``burst`` configure the cluster scheduler's
+    admission control (0/None = off).  Returns the process exit code
+    (0 = drained clean, 1 = drain timed out, remaining jobs cancelled).
     """
     from repro.experiments.store import open_store
 
     if scheduler is None:
         opened = store if hasattr(store, "get") else open_store(store)
-        scheduler = Scheduler(store=opened, workers=workers,
-                              trace_dir=trace_dir, engine=engine)
+        scheduler = ClusterScheduler(store=opened, workers=workers,
+                                     trace_dir=trace_dir, engine=engine,
+                                     max_queued=max_queued,
+                                     rate=rate, burst=burst)
     await scheduler.start()
     app = ServeApp(scheduler)
     server = await asyncio.start_server(app.handle, host=host, port=port)
@@ -277,12 +307,14 @@ class ServerThread:
                  store: Any = None,
                  trace_dir: Optional[Union[str, Path]] = None,
                  drain_timeout: Optional[float] = 30.0,
+                 scheduler_cls: type = Scheduler,
                  **scheduler_kwargs: Any) -> None:
         self._host = host
         self._workers = workers
         self._store = store
         self._trace_dir = trace_dir
         self._drain_timeout = drain_timeout
+        self._scheduler_cls = scheduler_cls
         self._scheduler_kwargs = scheduler_kwargs
         self._ready = threading.Event()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -312,9 +344,9 @@ class ServerThread:
         store = self._store if hasattr(self._store, "get") \
             else open_store(self._store if self._store is None
                             else str(self._store))
-        self.scheduler = Scheduler(store=store, workers=self._workers,
-                                   trace_dir=self._trace_dir,
-                                   **self._scheduler_kwargs)
+        self.scheduler = self._scheduler_cls(
+            store=store, workers=self._workers,
+            trace_dir=self._trace_dir, **self._scheduler_kwargs)
         self.exit_code = await serve_async(
             host=self._host, port=0, scheduler=self.scheduler,
             drain_timeout=self._drain_timeout, ready=self._ready,

@@ -1,0 +1,84 @@
+"""Store races: ls/clear/prune vs. a concurrent pruner.
+
+A cluster shares one store directory across workers and any number of
+``repro store prune`` invocations; every path that walks the directory
+must tolerate a file vanishing between ``glob`` and the subsequent
+``stat``/``read``/``unlink``.  These tests inject the race
+deterministically by making the first touch of a ``.json`` file raise
+``FileNotFoundError``, exactly as if another process pruned it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.cache.l1d import L1DStats
+from repro.experiments.store import ResultStore
+from repro.gpu.simulator import SimResult
+
+
+def stub_result(cycles: int = 100) -> SimResult:
+    return SimResult(cycles=cycles, thread_insns=10, warp_insns=5,
+                     l1d=L1DStats(), interconnect={}, l2={}, dram={},
+                     policy={})
+
+
+def seeded(tmp_path, entries: int = 3) -> ResultStore:
+    store = ResultStore(tmp_path)
+    for i in range(entries):
+        store.put(f"{i:064d}", stub_result(cycles=i + 1),
+                  meta={"abbr": f"W{i}"})
+    return store
+
+
+def raise_enoent_once(monkeypatch, method: str):
+    """First call of Path.<method> on a .json file raises ENOENT."""
+    real = getattr(Path, method)
+    raced = []
+
+    def racy(self, *args, **kwargs):
+        if self.suffix == ".json" and not raced:
+            raced.append(self)
+            raise FileNotFoundError(self)
+        return real(self, *args, **kwargs)
+
+    monkeypatch.setattr(Path, method, racy)
+    return raced
+
+
+class TestLsRace:
+    def test_ls_skips_entry_deleted_after_glob(self, tmp_path, monkeypatch):
+        store = seeded(tmp_path, entries=3)
+        raced = raise_enoent_once(monkeypatch, "read_text")
+        entries = store.ls()
+        assert len(raced) == 1
+        assert len(entries) == 2             # survivor entries intact
+        assert all("abbr" in e for e in entries)
+
+
+class TestClearRace:
+    def test_clear_counts_only_files_it_unlinked(self, tmp_path,
+                                                 monkeypatch):
+        store = seeded(tmp_path, entries=3)
+        raced = raise_enoent_once(monkeypatch, "unlink")
+        assert store.clear() == 2
+        assert len(raced) == 1
+
+
+class TestPruneRace:
+    def test_prune_skips_entry_deleted_before_stat(self, tmp_path,
+                                                   monkeypatch):
+        store = seeded(tmp_path, entries=3)
+        raced = raise_enoent_once(monkeypatch, "stat")
+        # max_entries=0 wants everything gone; the raced entry is
+        # invisible this round and simply survives to the next pruner
+        removed = store.prune(max_entries=0)
+        assert len(raced) == 1
+        assert removed == 2
+
+    def test_prune_tolerates_unlink_race(self, tmp_path, monkeypatch):
+        store = seeded(tmp_path, entries=3)
+        raced = raise_enoent_once(monkeypatch, "unlink")
+        removed = store.prune(max_entries=0)
+        assert len(raced) == 1
+        assert removed == 2                  # the raced unlink counts 0

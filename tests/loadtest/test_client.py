@@ -1,0 +1,185 @@
+"""AsyncServeClient: HTTP parsing, retry/backoff, scripted servers.
+
+The scripted server is a real ``asyncio.start_server`` speaking raw
+bytes, so these tests cover the client's actual wire path — framing,
+``Connection: close`` handling, dropped connections — without a
+simulation service behind it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import List, Tuple
+
+import pytest
+
+from repro.loadtest.client import AsyncServeClient, LoadClientError
+from repro.utils.rng import DeterministicRng
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=30))
+
+
+def http_bytes(status: int, doc=None, retry_after=None) -> bytes:
+    body = json.dumps(doc).encode() if doc is not None else b""
+    extra = f"Retry-After: {retry_after}\r\n" if retry_after is not None \
+        else ""
+    head = (
+        f"HTTP/1.1 {status} Whatever\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"{extra}Connection: close\r\n\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+class ScriptedServer:
+    """Serves a fixed list of canned responses; 'drop' closes early."""
+
+    def __init__(self, script: List):
+        self.script = list(script)
+        self.connections = 0
+        self._server = None
+
+    async def __aenter__(self) -> Tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._handle, "127.0.0.1", 0)
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def __aexit__(self, *exc):
+        self._server.close()
+        await self._server.wait_closed()
+
+    async def _handle(self, reader, writer):
+        self.connections += 1
+        await reader.read(65536)                  # whole request fits
+        action = self.script.pop(0) if self.script \
+            else http_bytes(200, {"ok": True})
+        if action != "drop":
+            writer.write(action)
+            await writer.drain()
+        writer.close()
+
+
+def split_head(raw: bytes) -> bytes:
+    head, _, _body = raw.partition(b"\r\n\r\n")
+    return head + b"\r\n\r\n"
+
+
+class TestParse:
+    def test_status_headers_and_retry_after(self):
+        status, headers, hint = AsyncServeClient._parse_head(
+            split_head(http_bytes(429, {"error": "full"},
+                                  retry_after="0.125")))
+        assert status == 429
+        assert "json" in headers["content-type"]
+        assert hint == pytest.approx(0.125)
+
+    def test_json_body_decodes(self):
+        doc = AsyncServeClient._decode(
+            {"content-type": "application/json"}, b'{"error": "full"}')
+        assert doc == {"error": "full"}
+
+    def test_non_json_body_stays_text(self):
+        doc = AsyncServeClient._decode(
+            {"content-type": "text/plain"}, b"hello")
+        assert doc == "hello"
+
+    def test_malformed_status_line_raises_oserror(self):
+        with pytest.raises(OSError):
+            AsyncServeClient._parse_head(b"garbage\r\n\r\n")
+        with pytest.raises(OSError):
+            AsyncServeClient._parse_head(b"\r\n\r\n")
+
+    def test_unparseable_retry_after_ignored(self):
+        status, _headers, hint = AsyncServeClient._parse_head(
+            split_head(http_bytes(429, {}, retry_after="soon")))
+        assert status == 429 and hint is None
+
+
+class TestRetrySchedule:
+    def test_429_then_success(self):
+        async def body():
+            server = ScriptedServer([
+                http_bytes(429, {"error": "full"}, retry_after="0.01"),
+                http_bytes(200, {"id": "job-1"}),
+            ])
+            async with server as (host, port):
+                client = AsyncServeClient(
+                    host, port, retries=3, backoff_base=0.01,
+                    backoff_cap=0.02,
+                    rng=DeterministicRng("test"))
+                status, doc = await client.request("POST", "/jobs", {})
+                assert status == 200 and doc == {"id": "job-1"}
+                assert client.throttled == 1
+                assert server.connections == 2
+        run(body())
+
+    def test_dropped_connection_then_success(self):
+        async def body():
+            server = ScriptedServer(["drop", http_bytes(200, {"ok": 1})])
+            async with server as (host, port):
+                client = AsyncServeClient(
+                    host, port, retries=3, backoff_base=0.01,
+                    backoff_cap=0.02, rng=DeterministicRng("test"))
+                status, _doc = await client.request("GET", "/healthz")
+                assert status == 200
+                assert client.transport_errors == 1
+        run(body())
+
+    def test_exhausted_transport_retries_raise(self):
+        async def body():
+            server = ScriptedServer(["drop", "drop", "drop"])
+            async with server as (host, port):
+                client = AsyncServeClient(
+                    host, port, retries=2, backoff_base=0.01,
+                    backoff_cap=0.02, rng=DeterministicRng("test"))
+                with pytest.raises(LoadClientError):
+                    await client.request("GET", "/healthz")
+                assert server.connections == 3
+        run(body())
+
+    def test_exhausted_429s_surface_final_status(self):
+        async def body():
+            script = [http_bytes(429, {"error": "full"},
+                                 retry_after="0.01")] * 3
+            server = ScriptedServer(script)
+            async with server as (host, port):
+                client = AsyncServeClient(
+                    host, port, retries=2, backoff_base=0.01,
+                    backoff_cap=0.02, rng=DeterministicRng("test"))
+                status, doc = await client.request("POST", "/jobs", {})
+                assert status == 429
+                assert client.throttled == 3
+        run(body())
+
+    def test_semaphore_bounds_connections(self):
+        async def body():
+            server = ScriptedServer([])
+            async with server as (host, port):
+                sem = asyncio.Semaphore(2)
+                client = AsyncServeClient(host, port, semaphore=sem)
+                statuses = await asyncio.gather(*(
+                    client.request("GET", "/x") for _ in range(8)))
+                assert all(s == 200 for s, _ in statuses)
+        run(body())
+
+
+class TestBackoff:
+    def test_retry_after_wins_and_is_capped(self):
+        client = AsyncServeClient("h", 1, backoff_cap=0.5,
+                                  rng=DeterministicRng("x"))
+        assert client._backoff(0, 0.2) == pytest.approx(0.2)
+        assert client._backoff(0, 9.0) == pytest.approx(0.5)
+
+    def test_full_jitter_within_ceiling(self):
+        client = AsyncServeClient("h", 1, backoff_base=0.2,
+                                  backoff_cap=2.0,
+                                  rng=DeterministicRng("x"))
+        for attempt in range(8):
+            ceiling = min(2.0, 0.2 * (2 ** attempt))
+            for _ in range(8):
+                assert 0.0 <= client._backoff(attempt, None) <= ceiling

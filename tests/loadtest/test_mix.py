@@ -1,0 +1,71 @@
+"""Deterministic zipfian mixes: reproducibility and shape."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.loadtest.mix import MixConfig, build_population, build_schedule
+from repro.serve.protocol import parse_job_request
+
+
+class TestPopulation:
+    def test_every_rank_is_a_distinct_content_address(self):
+        mix = MixConfig(population=12)
+        keys = [parse_job_request(body).units[0].key()
+                for body in build_population(mix)]
+        assert len(set(keys)) == 12
+
+    def test_bodies_are_valid_submit_payloads(self):
+        for body in build_population(MixConfig(population=6)):
+            request = parse_job_request(body)
+            assert len(request.units) == 1
+
+    def test_population_covers_all_apps_and_schemes(self):
+        mix = MixConfig(population=8, apps=("MM", "BFS"),
+                        schemes=("baseline", "dlp"))
+        bodies = build_population(mix)
+        assert {b["app"] for b in bodies} == {"MM", "BFS"}
+        assert {b["scheme"] for b in bodies} == {"baseline", "dlp"}
+
+    def test_different_seeds_shift_the_population(self):
+        a = build_population(MixConfig(population=4, seed=0))
+        b = build_population(MixConfig(population=4, seed=1))
+        assert a != b
+
+
+class TestSchedule:
+    def test_same_config_same_schedule(self):
+        mix = MixConfig(population=10, seed=3, predict_fraction=0.3)
+        assert build_schedule(mix, 200) == build_schedule(mix, 200)
+
+    def test_different_seed_different_schedule(self):
+        base = MixConfig(population=10, seed=0)
+        other = MixConfig(population=10, seed=1)
+        assert build_schedule(base, 200) != build_schedule(other, 200)
+
+    def test_ranks_stay_in_population(self):
+        mix = MixConfig(population=7)
+        assert all(0 <= rank < 7
+                   for rank, _predict in build_schedule(mix, 300))
+
+    def test_zipf_head_is_hotter_than_tail(self):
+        mix = MixConfig(population=16, zipf_exponent=1.1)
+        counts = Counter(
+            rank for rank, _ in build_schedule(mix, 2000))
+        assert counts[0] > counts.get(15, 0)
+        # the head rank dominates: well above the uniform share
+        assert counts[0] > 2000 / 16
+
+    def test_predict_fraction_bounds(self):
+        none = build_schedule(
+            MixConfig(population=4, predict_fraction=0.0), 100)
+        assert not any(predict for _rank, predict in none)
+        every = build_schedule(
+            MixConfig(population=4, predict_fraction=1.0), 100)
+        assert all(predict for _rank, predict in every)
+
+    def test_predict_fraction_is_approximately_honoured(self):
+        schedule = build_schedule(
+            MixConfig(population=4, predict_fraction=0.25), 2000)
+        share = sum(1 for _r, predict in schedule if predict) / 2000
+        assert 0.15 < share < 0.35
