@@ -1,0 +1,24 @@
+"""Batch replay: the whole ablation grid in one pass over one trace.
+
+The package decodes and partitions a recorded trace once
+(:mod:`repro.batchsim.decode`), then advances any number of
+policy/ablation lanes through it with per-policy specialized kernels
+(:mod:`repro.batchsim.kernels`), each lane bit-identical to a solo
+``fastsim`` replay.  :mod:`repro.batchsim.engine` exposes the
+single-lane ``--engine batch`` adapter and the multi-lane
+:func:`~repro.batchsim.engine.replay_batch` front door;
+:mod:`repro.batchsim.grid` expands ``--grid`` axes into lanes.
+"""
+
+from repro.batchsim.engine import BatchReplayEngine, Lane, replay_batch
+from repro.batchsim.grid import GridAxis, cell_label, expand_grid, parse_grid_axis
+
+__all__ = [
+    "BatchReplayEngine",
+    "Lane",
+    "replay_batch",
+    "GridAxis",
+    "parse_grid_axis",
+    "expand_grid",
+    "cell_label",
+]

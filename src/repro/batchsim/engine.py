@@ -1,0 +1,197 @@
+"""The batch replay engine: N policy lanes over one decoded trace.
+
+:func:`replay_batch` is the multi-lane front door: it decodes and
+partitions the trace once (:mod:`repro.batchsim.decode`), then advances
+every lane — a (scheme, policy_kwargs) variant — through the stream via
+the specialized kernels in :mod:`repro.batchsim.kernels`.  Lanes whose
+blocking-replay trajectories are provably identical (``baseline`` vs
+``stall_bypass``, knobs the replay path never reads such as
+``insn_sample_limit``) share one kernel run and the survivors get a
+state copy, so a 17-cell ablation grid costs ~15 kernel passes plus one
+decode instead of 17 full replays.
+
+:class:`BatchReplayEngine` is the single-lane adapter behind
+``--engine batch``: constructor-compatible with
+:class:`~repro.fastsim.replay.FastReplayEngine` and bit-identical to it
+(and therefore to the reference engine) lane for lane, so batch results
+resolve the same store entries as either other engine.  Non-blocking
+mode has no batch specialization — fills in flight break the per-window
+set decomposition — so NB lanes run the ordinary per-record engine,
+one private engine per lane (no cross-lane state by construction).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.fastsim.engine import KIND_DLP, FastL1DCache
+from repro.fastsim.replay import FastReplayEngine
+from repro.gpu.config import GPUConfig
+from repro.gpu.simulator import SimResult
+from repro.trace.format import TraceReader, TraceRecord
+from repro.trace.replay import _resolve
+
+from repro.batchsim.decode import (
+    SmColumns,
+    TracePartitions,
+    _columns_from_lists,
+    decode_reader,
+    decode_records,
+)
+from repro.batchsim.kernels import DLP, GLOBAL, UNPROTECTED, get_kernel, kernel_key
+
+#: One lane: (scheme, policy kwargs) — the same pair ``repro sweep``
+#: passes to :func:`repro.trace.replay.replay_trace`.
+Lane = Tuple[Union[str, Any], Dict[str, Any]]
+
+_COPY_INTS = (
+    "_stamp", "_acc", "_ins", "samples_completed", "protected_bypasses",
+    "_vta_hit_count", "_vta_insert_count", "_vta_probe_count", "_vta_stamp",
+    "_g_tda", "_g_vta", "_gpd", "_gp_tda", "_gp_vta",
+)
+_COPY_LISTS = (
+    "_st", "_blk", "_lru", "_iid", "_pli", "_pnd",
+    "_pdt", "_pdv", "_pdl", "_pdu",
+    "_vta_valid", "_vta_blk", "_vta_iid", "_vta_lru",
+)
+_COPY_DICTS = ("_bypassed", "closed_by", "pd_updates")
+
+
+def _lane_key(cache: FastL1DCache) -> Tuple[Any, ...]:
+    """Trajectory identity of one lane's blocking replay.
+
+    Two lanes with equal keys take bit-identical paths through the
+    stream: the key covers the geometry and every policy knob the
+    blocking replay protocol reads.  ``insn_sample_limit`` is absent
+    (replay never calls ``notify_instructions``) and ``baseline`` /
+    ``stall_bypass`` collapse to one unprotected group (the only stall
+    blocking replay can raise is one unprotected policies never hit).
+    """
+    geom = cache.geometry
+    base: Tuple[Any, ...] = (geom.num_sets, geom.assoc, geom.index_fn)
+    if not cache._protected:
+        return base + (UNPROTECTED,)
+    kind = DLP if cache._kind == KIND_DLP else GLOBAL
+    return base + (kind, cache._bypass_enabled, cache._acc_limit,
+                   cache._vta_assoc, cache._pl_max, cache._nasc)
+
+
+def _copy_cache(src: FastL1DCache, dst: FastL1DCache) -> None:
+    """Copy one cache's full observable end state onto a duplicate lane."""
+    for name in _COPY_INTS:
+        setattr(dst, name, getattr(src, name))
+    for name in _COPY_LISTS:
+        getattr(dst, name)[:] = getattr(src, name)
+    for name in _COPY_DICTS:
+        d = getattr(dst, name)
+        d.clear()
+        d.update(getattr(src, name))
+    for field, value in vars(src.stats).items():
+        setattr(dst.stats, field,
+                dict(value) if isinstance(value, dict) else value)
+
+
+def _run_lane(engine: FastReplayEngine, parts: TracePartitions) -> None:
+    """Drive one lane's per-SM caches through the shared partitions."""
+    for sm_id, cache in enumerate(engine.caches):
+        columns = parts.columns[sm_id]
+        part = parts.get(sm_id, cache._num_sets, cache.geometry.index_fn)
+        kernel = get_kernel(kernel_key(cache, parts.max_insn))
+        if cache._protected:
+            windows, full = part.windows(cache._acc_limit)
+        else:
+            windows, full = part.whole_stream()
+        kernel(cache, windows, full, part.n, sm_id)
+        engine.replayed_per_sm[sm_id] += columns.n
+        engine.replayed_records += columns.n
+
+
+def _pad_columns(columns: List[SmColumns], num_sms: int) -> List[SmColumns]:
+    while len(columns) < num_sms:
+        columns.append(_columns_from_lists(len(columns), [], [], [], []))
+    return columns
+
+
+def replay_batch(
+    source: Union[TraceReader, Sequence[TraceRecord]],
+    lanes: Sequence[Lane],
+    config: Optional[GPUConfig] = None,
+) -> List[SimResult]:
+    """Replay every lane over one decode of ``source``.
+
+    ``source`` is a :class:`TraceReader` (decoded vectorized) or an
+    in-memory record sequence; ``lanes`` are (scheme, policy_kwargs)
+    pairs.  Returns one :class:`SimResult` per lane, in order, each
+    bit-identical to a solo ``replay_trace(..., engine="fast")`` run of
+    that lane.
+    """
+    if config is None:
+        config = GPUConfig()
+    if isinstance(source, TraceReader):
+        reader = source
+        if config.num_sms < reader.num_sms:
+            raise ValueError(
+                f"trace has {reader.num_sms} SM streams but config "
+                f"provides only {config.num_sms} SMs"
+            )
+        if config.l1d.line_size != reader.line_size:
+            raise ValueError(
+                f"line-size mismatch: trace recorded at "
+                f"{reader.line_size} B, config uses "
+                f"{config.l1d.line_size} B"
+            )
+        columns = _pad_columns(decode_reader(reader), config.num_sms)
+    else:
+        columns = decode_records(list(source), config.num_sms)
+    parts = TracePartitions(columns)
+
+    engines: List[FastReplayEngine] = []
+    for scheme, policy_kwargs in lanes:
+        lane_config, factory = _resolve(scheme, config, **policy_kwargs)
+        engines.append(FastReplayEngine(lane_config, factory))
+
+    done: Dict[Tuple[Any, ...], FastReplayEngine] = {}
+    nb_records: List[TraceRecord] = []
+    for engine in engines:
+        if engine.non_blocking:
+            # No batch specialization: fills in flight break the window
+            # decomposition.  Each NB lane gets its own engine pass over
+            # the shared decoded records — lane isolation by construction.
+            if not nb_records:
+                for col in columns:
+                    nb_records.extend(col.records())
+            engine.run(iter(nb_records))
+            continue
+        key = _lane_key(engine.caches[0])
+        prior = done.get(key)
+        if prior is None:
+            _run_lane(engine, parts)
+            done[key] = engine
+        else:
+            for src, dst in zip(prior.caches, engine.caches):
+                _copy_cache(src, dst)
+            engine.replayed_per_sm = list(prior.replayed_per_sm)
+            engine.replayed_records = prior.replayed_records
+    return [engine.result() for engine in engines]
+
+
+class BatchReplayEngine(FastReplayEngine):
+    """Single-lane batch engine — the ``--engine batch`` adapter.
+
+    Blocking streams run through the specialized kernels; non-blocking
+    streams (and reruns over warmed caches, which the kernels refuse)
+    fall back to the per-record :class:`FastReplayEngine` path, which is
+    already bit-identical.
+    """
+
+    def run(self, records: Iterable[TraceRecord]) -> SimResult:
+        if self.non_blocking or any(
+            c._stamp or c.stats.loads or c.stats.stores for c in self.caches
+        ):
+            return FastReplayEngine.run(self, records)
+        columns = decode_records(list(records), len(self.caches))
+        _run_lane(self, TracePartitions(columns))
+        return self.result()
+
+
+__all__ = ["Lane", "BatchReplayEngine", "replay_batch"]

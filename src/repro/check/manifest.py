@@ -35,7 +35,7 @@ from typing import Dict, List, Optional
 #: of the SIM_VERSION rule: the policy/cache protocol plus the packed
 #: fast engine, which re-implements that protocol and must change in
 #: lockstep with it.
-SEMANTIC_PACKAGES = ("core", "cache", "fastsim")
+SEMANTIC_PACKAGES = ("core", "cache", "fastsim", "batchsim")
 
 MANIFEST_NAME = "semantics_manifest.json"
 

@@ -160,13 +160,25 @@ def build_parser() -> argparse.ArgumentParser:
                          help="with --replay: persist recorded traces here "
                               "(default: in-memory, this run only)")
     p_sweep.add_argument("--engine", default="reference",
-                         choices=["reference", "fast"],
+                         choices=["reference", "fast", "batch"],
                          help="L1D implementation for uncached cells "
                               "(bit-identical results; store keys are "
-                              "engine-independent)")
+                              "engine-independent; 'batch' replays all "
+                              "of an app's schemes in one pass and "
+                              "requires --replay)")
     p_sweep.add_argument("--non-blocking", action="store_true",
                          help="non-blocking L1D for every cell "
                               "(semantic switch: enters store keys)")
+    p_sweep.add_argument("--grid", action="append", default=None,
+                         metavar="AXIS",
+                         help="replay an ablation grid instead of a scheme "
+                              "matrix: repeatable policy-knob axis "
+                              "(name=v1,v2,... or name=lo:hi[:step]) "
+                              "crossed over a single --schemes entry; "
+                              "requires --replay")
+    p_sweep.add_argument("--grid-out", default=None, metavar="FILE",
+                         help="with --grid: also write the frontier map "
+                              "as JSON to FILE")
 
     p_store = sub.add_parser("store", help="manage an on-disk result store")
     p_store.add_argument("action", choices=["ls", "clear", "prune"])
@@ -411,7 +423,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="SM count for the replayed machine "
                             "(default: the trace's own)")
     t_rep.add_argument("--engine", default="reference",
-                       choices=["reference", "fast"],
+                       choices=["reference", "fast", "batch"],
                        help="replay engine (bit-identical results)")
     t_rep.add_argument("--non-blocking", action="store_true",
                        help="replay against the non-blocking L1D "
@@ -563,7 +575,15 @@ def cmd_sweep(args) -> int:
             raise ValueError(
                 f"unknown scheme {scheme!r}; expected one of {sorted(SCHEME_LABELS)}"
             )
+    if args.engine == "batch" and not args.replay:
+        raise ValueError(
+            "--engine batch is a replay engine; add --replay"
+        )
+    if getattr(args, "grid", None) and not args.replay:
+        raise ValueError("--grid is a replay mode; add --replay")
     if args.replay:
+        if getattr(args, "grid", None):
+            return _replay_grid(args, apps, schemes)
         return _replay_sweep(args, apps, schemes)
     executor = SweepExecutor(store=open_store(args.store), jobs=args.jobs)
     results = executor.run_sweep(
@@ -631,6 +651,72 @@ def _replay_sweep(args, apps, schemes) -> int:
         f"replayed {tr.replayed} cells, {tr.store_hits} store hits"
     )
     print(f"store: {st.hits} hits, {st.misses} misses, {st.puts} puts")
+    return 0
+
+
+def _replay_grid(args, apps, schemes) -> int:
+    """``repro sweep --replay --grid``: a frontier map over policy knobs."""
+    import json as _json
+    from pathlib import Path
+
+    from repro.batchsim.grid import parse_grid_axis
+    from repro.trace.sweep import ReplaySweepExecutor
+
+    if len(schemes) != 1:
+        raise ValueError(
+            "--grid sweeps policy knobs of a single scheme; pass exactly "
+            f"one --schemes entry (got {len(schemes)})"
+        )
+    scheme = schemes[0]
+    axes = [parse_grid_axis(text) for text in args.grid]
+    executor = ReplaySweepExecutor(
+        store=open_store(args.store), trace_dir=args.trace_dir,
+        config=_cli_config(args), engine=args.engine,
+    )
+    per_app = {
+        app: executor.run_grid(
+            app, scheme, axes, num_sms=args.sms, scale=args.scale,
+            seed=args.seed,
+        )
+        for app in apps
+    }
+    rows = [
+        (app, label, f"{r.l1d.hit_rate:.4f}", str(r.l1d.bypasses),
+         str(r.l1d.evictions_total))
+        for app, cells in per_app.items()
+        for label, r in cells.items()
+    ]
+    n_cells = len(next(iter(per_app.values()))) if per_app else 0
+    print(ascii_table(
+        ["App", "Cell", "Hit rate", "Bypasses", "Evictions"],
+        rows,
+        title=f"replay grid: {scheme}, {len(apps)} apps x {n_cells} cells "
+              f"({args.sms} SMs, scale {args.scale:g}, engine {args.engine})",
+    ))
+    tr, st = executor.stats, executor.store.stats
+    print(
+        f"\ntrace: recorded {tr.recorded} traces, {tr.trace_hits} trace hits; "
+        f"replayed {tr.replayed} cells, {tr.store_hits} store hits"
+    )
+    print(f"store: {st.hits} hits, {st.misses} misses, {st.puts} puts")
+    if args.grid_out:
+        payload = {
+            app: {
+                label: {
+                    "hit_rate": r.l1d.hit_rate,
+                    "miss_rate": 1.0 - r.l1d.hit_rate,
+                    "bypasses": r.l1d.bypasses,
+                    "evictions": r.l1d.evictions_total,
+                }
+                for label, r in cells.items()
+            }
+            for app, cells in per_app.items()
+        }
+        Path(args.grid_out).write_text(
+            _json.dumps({"scheme": scheme, "scale": args.scale,
+                         "sms": args.sms, "grid": payload}, indent=2) + "\n"
+        )
+        print(f"frontier map written to {args.grid_out}")
     return 0
 
 
@@ -758,7 +844,8 @@ def cmd_loadtest(args) -> int:
         return 0 if report.passed else 1
 
     doc = report.to_dict()
-    lat = doc["latency_s"]
+    lat = {k: ("n/a" if v is None else v)
+           for k, v in doc["latency_s"].items()}
     rows = [
         ("clients x requests", f"{report.clients} x "
                                f"{args.requests} = {report.requests}"),

@@ -95,10 +95,12 @@ class LoadTestReport:
     transport_retries: int
     wall_s: float
     throughput_rps: float
-    p50_s: float
-    p95_s: float
-    p99_s: float
-    max_s: float
+    #: Latency percentiles; ``None`` when no request completed (an
+    #: empty sample has no percentile — see :func:`percentile`).
+    p50_s: Optional[float]
+    p95_s: Optional[float]
+    p99_s: Optional[float]
+    max_s: Optional[float]
     coalescing_rate: float
     store_hit_rate: float
     hot_rate: float
@@ -122,10 +124,10 @@ class LoadTestReport:
             "wall_s": round(self.wall_s, 3),
             "throughput_rps": round(self.throughput_rps, 2),
             "latency_s": {
-                "p50": round(self.p50_s, 4),
-                "p95": round(self.p95_s, 4),
-                "p99": round(self.p99_s, 4),
-                "max": round(self.max_s, 4),
+                "p50": None if self.p50_s is None else round(self.p50_s, 4),
+                "p95": None if self.p95_s is None else round(self.p95_s, 4),
+                "p99": None if self.p99_s is None else round(self.p99_s, 4),
+                "max": None if self.max_s is None else round(self.max_s, 4),
             },
             "coalescing_rate": round(self.coalescing_rate, 4),
             "store_hit_rate": round(self.store_hit_rate, 4),
@@ -143,21 +145,31 @@ class LoadTestReport:
         return doc
 
 
-def percentile(sorted_values: List[float], q: float) -> float:
-    """Nearest-rank percentile over pre-sorted values (q in [0, 1])."""
+def percentile(sorted_values: List[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile over pre-sorted values (q in [0, 1]).
+
+    An empty sample has no percentile: returns ``None`` rather than a
+    fabricated 0.0 (which once let an all-failed run sail under any
+    p99 SLO).
+    """
     if not sorted_values:
-        return 0.0
+        return None
     idx = max(0, math.ceil(q * len(sorted_values)) - 1)
     return sorted_values[min(idx, len(sorted_values) - 1)]
 
 
 def evaluate_slos(report: LoadTestReport, slo: SloConfig) -> List[str]:
     violations = []
+    if report.requests > 0 and report.completed == 0:
+        violations.append(
+            f"no requests completed (0 of {report.requests})"
+        )
     if report.failed > slo.max_failures:
         violations.append(
             f"failures {report.failed} > allowed {slo.max_failures}"
         )
-    if slo.p99_s is not None and report.p99_s > slo.p99_s:
+    if slo.p99_s is not None and report.p99_s is not None \
+            and report.p99_s > slo.p99_s:
         violations.append(
             f"p99 latency {report.p99_s:.3f}s > SLO {slo.p99_s:g}s"
         )
@@ -312,7 +324,7 @@ async def _drive(config: LoadTestConfig, host: str, port: int,
         p50_s=percentile(latencies, 0.50),
         p95_s=percentile(latencies, 0.95),
         p99_s=percentile(latencies, 0.99),
-        max_s=latencies[-1] if latencies else 0.0,
+        max_s=latencies[-1] if latencies else None,
         coalescing_rate=int(cells.get("coalesced", 0)) / requested,
         store_hit_rate=int(cells.get("store_hits", 0)) / requested,
         hot_rate=(int(cells.get("coalesced", 0))

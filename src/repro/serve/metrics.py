@@ -21,12 +21,17 @@ nothing recorded here feeds back into simulation semantics.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 #: Log-spaced latency buckets (seconds).  The interesting range spans a
-#: sub-millisecond warm store hit to a multi-minute bulk simulation.
+#: tier-0 analytical answer (~18 µs) through a warm store hit to a
+#: multi-minute bulk simulation; the sub-millisecond decades exist so
+#: tier-0 and store-hit latencies resolve instead of piling into the
+#: first bucket.
 DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-05, 2.5e-05, 5e-05, 0.0001, 0.00025, 0.0005,
     0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
     1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
 )
@@ -44,11 +49,9 @@ class LatencyHistogram:
     def observe(self, seconds: float) -> None:
         self.count += 1
         self.total += seconds
-        for i, bound in enumerate(self.bounds):
-            if seconds <= bound:
-                self.counts[i] += 1
-                return
-        self.counts[-1] += 1
+        # First bound >= seconds, i.e. the first bucket whose
+        # ``seconds <= bound`` test passes; len(bounds) lands in +Inf.
+        self.counts[bisect_left(self.bounds, seconds)] += 1
 
     def snapshot(self) -> Dict[str, Any]:
         """Cumulative bucket counts keyed by upper bound (like ``le``)."""

@@ -323,12 +323,15 @@ class TraceReader:
             self._section_offsets = offsets
         return self._section_offsets
 
-    def sm_stream(self, sm_id: int) -> Iterator[TraceRecord]:
-        """Stream one SM's records in recorded order."""
+    def sm_payload(self, sm_id: int) -> bytes:
+        """One SM section's raw (still gzip-compressed) payload.
+
+        Bulk consumers — the batch engine's vectorized varint decoder —
+        decompress and decode the whole section at once instead of
+        streaming record by record through :meth:`sm_stream`."""
         if not 0 <= sm_id < self.num_sms:
             raise IndexError(f"sm_id {sm_id} out of range")
         offset = self._sections()[sm_id]
-        expected = self.records_per_sm[sm_id]
         with open(self.path, "rb") as f:
             f.seek(offset)
             (complen,) = _U64.unpack(f.read(8))
@@ -338,6 +341,12 @@ class TraceReader:
                     f"{self.path}: truncated trace — SM{sm_id} section "
                     f"short by {complen - len(section)} bytes"
                 )
+        return section
+
+    def sm_stream(self, sm_id: int) -> Iterator[TraceRecord]:
+        """Stream one SM's records in recorded order."""
+        section = self.sm_payload(sm_id)
+        expected = self.records_per_sm[sm_id]
         try:
             gz = gzip.GzipFile(fileobj=io.BytesIO(section), mode="rb")
             stream = _VarintStream(gz)

@@ -283,9 +283,16 @@ def _make_engine(engine: str, config: GPUConfig, factory) -> "ReplayEngine":
         from repro.fastsim.replay import FastReplayEngine
 
         return FastReplayEngine(config, factory)  # type: ignore[return-value]
+    if engine == "batch":
+        # Imported lazily for the same reason (batchsim builds on both
+        # this module and repro.fastsim.replay).
+        from repro.batchsim.engine import BatchReplayEngine
+
+        return BatchReplayEngine(config, factory)  # type: ignore[return-value]
     if engine != "reference":
         raise ValueError(
-            f"unknown engine {engine!r}; expected 'reference' or 'fast'"
+            f"unknown engine {engine!r}; expected 'reference', 'fast', "
+            f"or 'batch'"
         )
     return ReplayEngine(config, factory)
 

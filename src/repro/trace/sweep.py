@@ -22,7 +22,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover — typing only (lazy at runtime)
+    from repro.batchsim.grid import GridAxis
 
 from repro.experiments.store import (
     MemoryStore,
@@ -150,6 +153,16 @@ class ReplaySweepExecutor:
             self.stats.recorded += 1
         return records
 
+    def _cell_meta(self, abbr: str, scheme: str, config: GPUConfig,
+                   scale: float, seed: int) -> Dict[str, object]:
+        meta: Dict[str, object] = {
+            "abbr": abbr, "scheme": scheme, "mode": "replay",
+            "num_sms": config.num_sms, "scale": scale, "seed": seed,
+        }
+        if config.l1d.non_blocking:
+            meta["non_blocking"] = True
+        return meta
+
     def run_cell(
         self,
         abbr: str,
@@ -179,12 +192,54 @@ class ReplaySweepExecutor:
             result = replay_records(iter(source), config, scheme,
                                     engine=self.engine, **policy_kwargs)
         self.stats.replayed += 1
-        meta = {"abbr": abbr, "scheme": scheme, "mode": "replay",
-                "num_sms": config.num_sms, "scale": scale, "seed": seed}
-        if config.l1d.non_blocking:
-            meta["non_blocking"] = True
-        self.store.put(key, result, meta=meta)
+        self.store.put(key, result,
+                       meta=self._cell_meta(abbr, scheme, config, scale, seed))
         return result
+
+    def _run_cells_batched(
+        self,
+        abbr: str,
+        cells: Sequence[tuple],
+        num_sms: int,
+        scale: float,
+        seed: int,
+    ) -> List[SimResult]:
+        """Resolve many (scheme, policy_kwargs) cells of one app through
+        one :func:`~repro.batchsim.engine.replay_batch` pass.
+
+        Store interaction is cell-for-cell identical to
+        :meth:`run_cell`: same keys, same meta, same results — a batch
+        sweep's store is byte-identical to the serial executor's, only
+        the accounting (one decode, N lanes) differs.
+        """
+        config = self._resolved_config(num_sms)
+        results: Dict[int, SimResult] = {}
+        missing: List[tuple] = []
+        for idx, (scheme, policy_kwargs) in enumerate(cells):
+            key = replay_cell_key(
+                abbr, scheme, config, scale=scale, seed=seed,
+                policy_kwargs=policy_kwargs,
+            )
+            cached = self.store.get(key)
+            if cached is not None:
+                self.stats.store_hits += 1
+                results[idx] = cached
+            else:
+                missing.append((idx, key, scheme, policy_kwargs))
+        if missing:
+            from repro.batchsim.engine import replay_batch
+
+            source = self._get_or_record(abbr, config, scale, seed)
+            lanes = [(scheme, kwargs) for _, _, scheme, kwargs in missing]
+            replayed = replay_batch(source, lanes, config)
+            self.stats.replayed += len(lanes)
+            for (idx, key, scheme, _), result in zip(missing, replayed):
+                self.store.put(
+                    key, result,
+                    meta=self._cell_meta(abbr, scheme, config, scale, seed),
+                )
+                results[idx] = result
+        return [results[idx] for idx in range(len(cells))]
 
     def run_sweep(
         self,
@@ -198,7 +253,21 @@ class ReplaySweepExecutor:
         """The full app x scheme matrix as ``{app: {scheme: result}}``.
 
         Iteration is app-major so each app's trace is captured exactly
-        once and immediately reused by every scheme."""
+        once and immediately reused by every scheme.  Under
+        ``engine="batch"`` each app's uncached schemes replay as lanes
+        of a single batch pass (one decode, shared set partitions)."""
+        if self.engine == "batch":
+            return {
+                app.upper(): dict(zip(
+                    schemes,
+                    self._run_cells_batched(
+                        app.upper(),
+                        [(scheme, dict(policy_kwargs)) for scheme in schemes],
+                        num_sms, scale, seed,
+                    ),
+                ))
+                for app in apps
+            }
         return {
             app.upper(): {
                 scheme: self.run_cell(
@@ -208,4 +277,42 @@ class ReplaySweepExecutor:
                 for scheme in schemes
             }
             for app in apps
+        }
+
+    def run_grid(
+        self,
+        app: str,
+        scheme: str,
+        axes: Sequence["GridAxis"],
+        num_sms: int = 4,
+        scale: float = 1.0,
+        seed: int = 0,
+        **base_kwargs,
+    ) -> "Dict[str, SimResult]":
+        """A Fig. 9-style frontier map: one app, one scheme, a cross
+        product of policy-knob axes, as ``{cell_label: result}``.
+
+        Every grid point stores under its own replay cell key (the
+        policy kwargs enter the key), so grids warm-cache incrementally
+        and across engines.  Under ``engine="batch"`` all uncached
+        points replay as lanes of one batch pass; other engines fall
+        back to one :meth:`run_cell` per point.
+        """
+        from repro.batchsim.grid import cell_label, expand_grid
+
+        abbr = app.upper()
+        combos = expand_grid(list(axes))
+        cells = [(scheme, {**base_kwargs, **combo}) for combo in combos]
+        if self.engine == "batch":
+            replayed = self._run_cells_batched(
+                abbr, cells, num_sms, scale, seed)
+        else:
+            replayed = [
+                self.run_cell(abbr, scheme, num_sms=num_sms, scale=scale,
+                              seed=seed, **kwargs)
+                for scheme, kwargs in cells
+            ]
+        return {
+            cell_label(combo): result
+            for combo, result in zip(combos, replayed)
         }

@@ -1,0 +1,102 @@
+"""Store identity: a batch sweep's store is byte-identical to serial.
+
+The engine choice is an execution detail: it never enters trace keys or
+replay-cell keys, and a batched sweep must leave the result store in
+exactly the state a serial sweep would — same keys, same meta, same
+canonical result payloads — so any engine's results warm any other's
+cells.  The accounting differs only in how the counters add up (one
+decode feeding N lanes).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.store import canonical_json
+from repro.trace.sweep import ReplaySweepExecutor
+
+from tests.oracle import assert_results_identical
+
+APPS = ("MM",)
+SCHEMES = ("baseline", "stall_bypass", "global_protection", "dlp")
+SWEEP = dict(num_sms=2, scale=0.4)
+
+
+def store_image(store) -> dict:
+    """Full observable store state: key -> (meta, canonical payload)."""
+    return {
+        key: (store._meta[key], canonical_json(result.to_dict()))
+        for key, result in store._data.items()
+    }
+
+
+class TestStoreBytes:
+    def test_batch_sweep_store_matches_serial(self):
+        serial = ReplaySweepExecutor(engine="fast")
+        serial.run_sweep(APPS, SCHEMES, **SWEEP)
+        batch = ReplaySweepExecutor(engine="batch")
+        batch.run_sweep(APPS, SCHEMES, **SWEEP)
+        assert store_image(batch.store) == store_image(serial.store)
+
+    def test_batch_sweep_store_matches_reference(self):
+        serial = ReplaySweepExecutor()  # reference engine
+        serial.run_sweep(APPS, SCHEMES, **SWEEP)
+        batch = ReplaySweepExecutor(engine="batch")
+        batch.run_sweep(APPS, SCHEMES, **SWEEP)
+        assert store_image(batch.store) == store_image(serial.store)
+
+    def test_policy_kwargs_still_split_cells(self):
+        executor = ReplaySweepExecutor(engine="batch")
+        executor.run_sweep(APPS, ("dlp",), **SWEEP)
+        executor.run_sweep(APPS, ("dlp",), nasc=0, **SWEEP)
+        assert len(executor.store) == 2  # kwargs are part of the key
+
+
+class TestCrossEngineWarming:
+    def test_batch_results_warm_the_fast_executor(self):
+        batch = ReplaySweepExecutor(engine="batch")
+        first = batch.run_sweep(APPS, SCHEMES, **SWEEP)
+        fast = ReplaySweepExecutor(store=batch.store, engine="fast")
+        second = fast.run_sweep(APPS, SCHEMES, **SWEEP)
+        assert fast.stats.replayed == 0
+        assert fast.stats.store_hits == len(APPS) * len(SCHEMES)
+        for app in first:
+            for scheme in SCHEMES:
+                assert_results_identical(
+                    first[app][scheme], second[app][scheme],
+                    label=f"warm/{app}/{scheme}")
+
+    def test_fast_results_warm_the_batch_executor(self):
+        fast = ReplaySweepExecutor(engine="fast")
+        fast.run_sweep(APPS, SCHEMES, **SWEEP)
+        batch = ReplaySweepExecutor(store=fast.store, engine="batch")
+        batch.run_sweep(APPS, SCHEMES, **SWEEP)
+        assert batch.stats.replayed == 0
+        assert batch.stats.store_hits == len(APPS) * len(SCHEMES)
+
+    def test_partial_warming_batches_only_the_misses(self):
+        """Cached cells resolve from the store; only the misses become
+        lanes of the batch pass."""
+        warm = ReplaySweepExecutor(engine="fast")
+        warm.run_cell("MM", "dlp", **SWEEP)
+        batch = ReplaySweepExecutor(store=warm.store, engine="batch")
+        batch.run_sweep(APPS, SCHEMES, **SWEEP)
+        assert batch.stats.store_hits == 1
+        assert batch.stats.replayed == len(SCHEMES) - 1
+
+
+class TestAccounting:
+    def test_one_capture_n_lanes(self):
+        executor = ReplaySweepExecutor(engine="batch")
+        executor.run_sweep(APPS, SCHEMES, **SWEEP)
+        stats = executor.stats.as_dict()
+        # one trace captured, every scheme replayed as a lane of one
+        # pass, nothing resolved from a cold store
+        assert stats["recorded"] == len(APPS)
+        assert stats["replayed"] == len(APPS) * len(SCHEMES)
+        assert stats["store_hits"] == 0
+
+    def test_repeat_sweep_is_all_store_hits(self):
+        executor = ReplaySweepExecutor(engine="batch")
+        executor.run_sweep(APPS, SCHEMES, **SWEEP)
+        executor.run_sweep(APPS, SCHEMES, **SWEEP)
+        assert executor.stats.replayed == len(APPS) * len(SCHEMES)
+        assert executor.stats.store_hits == len(APPS) * len(SCHEMES)

@@ -29,8 +29,10 @@ def report_with(**overrides) -> LoadTestReport:
 
 
 class TestPercentile:
-    def test_empty_is_zero(self):
-        assert percentile([], 0.99) == 0.0
+    def test_empty_is_none(self):
+        # regression: an empty sample used to report 0.0, which let an
+        # all-failed run pass any p99 SLO gate
+        assert percentile([], 0.99) is None
 
     def test_nearest_rank(self):
         values = [float(i) for i in range(1, 101)]
@@ -75,6 +77,30 @@ class TestEvaluateSlos:
         bad = report_with(p99_s=100.0, coalescing_rate=0.0,
                           throttled_responses=100)
         assert evaluate_slos(bad, SloConfig()) == []
+
+    def test_zero_completion_run_fails_the_gate(self):
+        # regression: percentile([]) returned 0.0, so a run where every
+        # request failed reported p99 = 0.0 and PASSED a p99 SLO whose
+        # failure budget was permissive.  Zero completed requests must
+        # be a violation in its own right.
+        report = report_with(
+            completed=0, failed=0, p50_s=None, p95_s=None,
+            p99_s=None, max_s=None, throughput_rps=0.0,
+        )
+        violations = evaluate_slos(report, SloConfig(p99_s=60.0))
+        assert violations and "no requests completed" in violations[0]
+
+    def test_none_p99_does_not_crash_the_p99_gate(self):
+        report = report_with(completed=0, p99_s=None)
+        violations = evaluate_slos(report, SloConfig(p99_s=1.0))
+        assert all("p99" not in v for v in violations)
+
+    def test_empty_percentiles_serialise_as_null(self):
+        report = report_with(completed=0, p50_s=None, p95_s=None,
+                             p99_s=None, max_s=None)
+        lat = report.to_dict()["latency_s"]
+        assert lat == {"p50": None, "p95": None, "p99": None,
+                       "max": None}
 
 
 class TestTinyRealRun:

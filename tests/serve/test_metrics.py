@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.analysis.telemetry import render_latency_histogram
 from repro.serve.metrics import (
+    DEFAULT_BUCKETS,
     LatencyHistogram,
     ServeMetrics,
     render_prometheus,
@@ -30,6 +31,42 @@ class TestLatencyHistogram:
         snap = LatencyHistogram().snapshot()
         assert snap["count"] == 0 and snap["sum"] == 0
         assert snap["buckets"]["+Inf"] == 0
+
+    def test_default_buckets_resolve_tier0_latencies(self):
+        # regression: the default buckets started at 1 ms, so every
+        # tier-0 analytical answer (~18 µs) and warm store hit piled
+        # into the first bucket and the histogram carried no signal.
+        assert DEFAULT_BUCKETS[0] <= 1e-05
+        hist = LatencyHistogram()
+        hist.observe(18e-06)   # tier-0 analytical answer
+        hist.observe(300e-06)  # warm store hit
+        snap = hist.snapshot()["buckets"]
+        assert snap["2.5e-05"] == 1   # 18 µs resolved below 25 µs
+        assert snap["0.0001"] == 1    # 300 µs not yet counted at 100 µs
+        assert snap["0.0005"] == 2
+
+    def test_default_buckets_sorted_for_bisect(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_bisect_matches_linear_scan(self):
+        # observe() now bisects; first-bucket-with-seconds<=bound
+        # semantics must be unchanged, boundaries included.
+        hist = LatencyHistogram()
+        probes = [b for b in DEFAULT_BUCKETS]
+        probes += [b * 0.999 for b in DEFAULT_BUCKETS]
+        probes += [b * 1.001 for b in DEFAULT_BUCKETS]
+        probes += [0.0, 1e-9, 500.0]
+        for seconds in probes:
+            hist.observe(seconds)
+        linear = [0] * (len(DEFAULT_BUCKETS) + 1)
+        for seconds in probes:
+            for i, bound in enumerate(DEFAULT_BUCKETS):
+                if seconds <= bound:
+                    linear[i] += 1
+                    break
+            else:
+                linear[-1] += 1
+        assert hist.counts == linear
 
 
 class TestServeMetrics:
